@@ -1,0 +1,47 @@
+"""Section 6.4: silicon area of Mallacc and the Pollack's-rule comparison.
+
+Paper: 16 entries -> 72-byte CAM + 234-byte SRAM; 873 + 346 + 265 um^2 ≈
+under 1500 um^2 total; 0.006% of a 26.5 mm^2 Haswell core; the 0.43% mean
+speedup beats the Pollack expectation by over 140x.
+"""
+
+from conftest import run_once
+
+from repro.core.area import AreaModel
+from repro.harness.figures import render_table
+
+
+def test_area_model(benchmark):
+    breakdowns = run_once(
+        benchmark, lambda: {n: AreaModel.breakdown(n) for n in (8, 16, 32)}
+    )
+    rows = []
+    for n, b in breakdowns.items():
+        rows.append(
+            [
+                str(n),
+                str(AreaModel.bits_per_entry(n)),
+                f"{b.cam_bits // 8}B",
+                f"{b.sram_bits // 8}B",
+                f"{b.cam_area_um2:.0f}",
+                f"{b.sram_area_um2:.0f}",
+                f"{b.total_um2:.0f}",
+                f"{100 * b.fraction_of_haswell_core:.4f}%",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["entries", "bits/entry", "CAM", "SRAM", "CAM um2", "SRAM um2", "total um2", "% core"],
+            rows,
+            title="Section 6.4 — Mallacc area model (28 nm)",
+        )
+    )
+    b16 = breakdowns[16]
+    advantage = AreaModel.pollack_advantage(0.0043, num_entries=16)
+    print(f"Pollack advantage at 0.43% speedup: {advantage:.0f}x (paper: >140x)")
+
+    assert b16.total_um2 <= 1500
+    assert b16.cam_bits // 8 == 72 and b16.sram_bits // 8 == 234
+    assert 0.00005 <= b16.fraction_of_haswell_core <= 0.00007
+    assert advantage > 140

@@ -1,0 +1,38 @@
+"""Figure 2: CDF of malloc time by call duration across the macro suite.
+
+Paper: "more than 60% of time is spent on calls that take less than 100
+cycles" for the SPEC benchmarks; xapian even higher; masstree is the corner
+case that still spends >20-30% on the fast path.
+"""
+
+from conftest import WORKLOAD_ORDER, run_once
+
+from repro.harness.figures import render_table
+from repro.harness.metrics import time_weighted_cdf
+
+
+def test_fig02_duration_cdf(benchmark, macro_comparisons):
+    comparisons = run_once(benchmark, lambda: macro_comparisons)
+    thresholds = (20, 50, 100, 1000, 10000, 100000)
+    rows = []
+    fast100 = {}
+    for name in WORKLOAD_ORDER:
+        records = [r for r in comparisons[name].baseline.records if r.is_malloc]
+        cdf = time_weighted_cdf(records, thresholds)
+        fast100[name] = cdf[100]
+        rows.append([name] + [f"{cdf[t]:.0f}" for t in thresholds])
+    print()
+    print(
+        render_table(
+            ["workload"] + [f"<{t}cy" for t in thresholds],
+            rows,
+            title="Figure 2 — cumulative % of malloc time below each duration",
+        )
+    )
+    print("paper: SPEC >60% below 100cy; xapian higher; masstree lowest (>20-30%)")
+
+    # Shape: xapian leads, masstree trails, SPEC in the majority-fast regime.
+    assert fast100["xapian.abstracts"] > 80
+    assert fast100["400.perlbench"] > 55
+    assert fast100["masstree.same"] < fast100["400.perlbench"]
+    assert fast100["masstree.same"] > 10

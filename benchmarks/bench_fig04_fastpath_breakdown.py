@@ -1,0 +1,55 @@
+"""Figure 4: fast-path cycle breakdown for the six microbenchmarks.
+
+Paper: removing the three main components (sampling, size-class computation,
+free-list push/pop) together accounts for ≈50% of fast-path cycles; the
+antagonist shows "a significant increase in Pop time".
+"""
+
+from conftest import BENCH_OPS, run_once
+
+from repro.harness.ablation import fastpath_breakdown
+from repro.harness.figures import render_table
+from repro.workloads import MICROBENCHMARKS
+
+ORDER = ["antagonist", "gauss", "gauss_free", "sized_deletes", "tp", "tp_small"]
+
+
+def test_fig04_fastpath_breakdown(benchmark):
+    def experiment():
+        return {
+            name: fastpath_breakdown(MICROBENCHMARKS[name], num_ops=BENCH_OPS // 2)
+            for name in ORDER
+        }
+
+    breakdowns = run_once(benchmark, experiment)
+    rows = []
+    for name in ORDER:
+        b = breakdowns[name]
+        rows.append(
+            [
+                name,
+                f"{b.baseline_cycles:.1f}",
+                f"{b.component_cost('sampling'):.1f}",
+                f"{b.component_cost('size_class'):.1f}",
+                f"{b.component_cost('push_pop'):.1f}",
+                f"{b.component_cost('combined'):.1f}",
+                f"{100 * b.combined_fraction:.0f}%",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["ubench", "baseline cy", "sampling", "size class", "push/pop", "combined", "comb %"],
+            rows,
+            title="Figure 4 — fast-path component costs (cycles removed by ablation)",
+        )
+    )
+    print("paper: combined ≈ 50% of fast-path cycles; antagonist's pop cost grows")
+
+    for name in ORDER:
+        assert 0.30 <= breakdowns[name].combined_fraction <= 0.75
+    assert (
+        breakdowns["antagonist"].component_cost("push_pop")
+        > breakdowns["tp_small"].component_cost("push_pop")
+    )
+    assert breakdowns["antagonist"].baseline_cycles > breakdowns["tp_small"].baseline_cycles

@@ -1,0 +1,43 @@
+"""Figure 6: CDF of size classes used per workload.
+
+Paper: "for the benchmarks we surveyed, all but one use less than 5 size
+classes on 90% of malloc calls.  In fact, masstree almost exclusively uses a
+single size class.  xalancbmk has a much broader distribution" (~30 classes
+for 90% coverage).
+"""
+
+from conftest import WORKLOAD_ORDER, run_once
+
+from repro.harness.figures import render_table
+from repro.harness.metrics import classes_for_coverage, size_class_cdf
+
+
+def test_fig06_size_class_cdf(benchmark, macro_comparisons):
+    comparisons = run_once(benchmark, lambda: macro_comparisons)
+    rows = []
+    coverage90 = {}
+    for name in WORKLOAD_ORDER:
+        records = comparisons[name].baseline.records
+        cdf = size_class_cdf(records, max_classes=8)
+        coverage90[name] = classes_for_coverage(records)
+        rows.append(
+            [name]
+            + [f"{v:.0f}" for v in cdf[:6]]
+            + [""] * (6 - min(6, len(cdf)))
+            + [str(coverage90[name])]
+        )
+    print()
+    print(
+        render_table(
+            ["workload", "top1%", "top2%", "top3%", "top4%", "top5%", "top6%", "cls@90%"],
+            rows,
+            title="Figure 6 — malloc-call coverage by most-used size classes",
+        )
+    )
+    print("paper: all but xalancbmk need <5 classes for 90%; xalancbmk ~30; masstree ~1")
+
+    assert coverage90["masstree.same"] <= 2
+    assert coverage90["xapian.abstracts"] <= 5
+    assert coverage90["483.xalancbmk"] >= 15
+    non_outliers = [coverage90[n] for n in WORKLOAD_ORDER if n != "483.xalancbmk"]
+    assert max(non_outliers) <= 9

@@ -1,0 +1,46 @@
+"""Figure 13: improvement of time spent in the allocator (malloc + free).
+
+Paper: "Mallacc is able to achieve an average of 18% speedup, out of 28%
+projected by the limit study", with masstree the lowest (~5%) and the
+speedup "highly correlated with the fraction of time on the fast path".
+"""
+
+from conftest import WORKLOAD_ORDER, run_once
+
+from repro.harness.experiments import geomean
+from repro.harness.figures import render_table
+
+
+def test_fig13_allocator_time_improvement(benchmark, macro_comparisons):
+    comparisons = run_once(benchmark, lambda: macro_comparisons)
+    rows = []
+    improvements, limits = [], []
+    for name in WORKLOAD_ORDER:
+        c = comparisons[name]
+        improvements.append(c.allocator_improvement)
+        limits.append(c.allocator_limit_improvement)
+        rows.append(
+            [name, f"{c.allocator_improvement:.1f}%", f"{c.allocator_limit_improvement:.1f}%"]
+        )
+    g_impr, g_limit = geomean(improvements), geomean(limits)
+    rows.append(["Geomean", f"{g_impr:.1f}%", f"{g_limit:.1f}%"])
+    print()
+    print(
+        render_table(
+            ["workload", "Mallacc", "limit study"],
+            rows,
+            title="Figure 13 — allocator (malloc+free) time improvement",
+        )
+    )
+    print("paper: geomean 18% (limit 28%); masstree lowest ~5%")
+
+    # Shape: everything improves, Mallacc stays under its own limit, the
+    # geomean lands in the paper's neighbourhood, masstree is weakest.
+    by_name = dict(zip(WORKLOAD_ORDER, improvements))
+    assert all(v > 0 for v in improvements)
+    for impr, lim in zip(improvements, limits):
+        assert impr <= lim + 5
+    assert 10 <= g_impr <= 35
+    assert g_impr < g_limit
+    masstree = min(by_name["masstree.same"], by_name["masstree.wcol1"])
+    assert masstree <= min(by_name["483.xalancbmk"], by_name["xapian.abstracts"])

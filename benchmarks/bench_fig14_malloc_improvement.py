@@ -1,0 +1,31 @@
+"""Figure 14: improvement in time spent on malloc() calls only.
+
+Paper: "an average of nearly 30% speedup", with xapian and xalancbmk over
+40% and masstree the lowest.
+"""
+
+from conftest import WORKLOAD_ORDER, run_once
+
+from repro.harness.experiments import geomean
+from repro.harness.figures import render_bar_chart
+
+
+def test_fig14_malloc_time_improvement(benchmark, macro_comparisons):
+    comparisons = run_once(benchmark, lambda: macro_comparisons)
+    values = [comparisons[n].malloc_improvement for n in WORKLOAD_ORDER]
+    g = geomean(values)
+    print()
+    print(
+        render_bar_chart(
+            WORKLOAD_ORDER + ["Geomean"],
+            values + [g],
+            title="Figure 14 — malloc() time improvement (fast + slow paths)",
+        )
+    )
+    print("paper: average ~30%; xapian and xalancbmk >40%; masstree lowest")
+
+    by_name = dict(zip(WORKLOAD_ORDER, values))
+    assert 20 <= g <= 45
+    assert by_name["483.xalancbmk"] >= 35
+    assert max(by_name["xapian.abstracts"], by_name["xapian.pages"]) >= 33
+    assert min(by_name["masstree.same"], by_name["masstree.wcol1"]) == min(values)

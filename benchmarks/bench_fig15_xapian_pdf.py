@@ -1,0 +1,44 @@
+"""Figure 15: xapian call-duration distributions, baseline vs limit vs Mallacc.
+
+Paper: "The baseline case is already very fast — with virtually all calls
+between 20 and 40 cycles ... Our best-case latency optimizations manage to
+reduce the average call length almost twofold, with median calls now at 13
+cycles, and a distribution very close to that of the limit study."
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import render_histogram
+from repro.harness.metrics import duration_histogram, mean_cycles, median_cycles
+
+
+def test_fig15_xapian_duration_pdf(benchmark, macro_comparisons):
+    comparison = run_once(benchmark, lambda: macro_comparisons["xapian.pages"])
+
+    base_records = [r for r in comparison.baseline.records if r.is_malloc]
+    accel_records = [r for r in comparison.mallacc.records if r.is_malloc]
+
+    base_med = median_cycles(base_records)
+    accel_med = median_cycles(accel_records)
+    base_mean = mean_cycles(base_records, malloc_only=True)
+    accel_mean = mean_cycles(accel_records, malloc_only=True)
+    limit_mean = comparison.baseline.ablated_malloc_cycles("limit") / max(
+        1, len(base_records)
+    )
+
+    print()
+    print(render_histogram(duration_histogram(base_records, malloc_only=True),
+                           title="Figure 15a — xapian.pages baseline malloc PDF"))
+    print()
+    print(render_histogram(duration_histogram(accel_records, malloc_only=True),
+                           title="Figure 15b — xapian.pages Mallacc malloc PDF"))
+    print()
+    print(f"median: baseline {base_med:.0f} cy -> Mallacc {accel_med:.0f} cy (paper: ~13 cy)")
+    print(f"mean:   baseline {base_mean:.1f} -> Mallacc {accel_mean:.1f}, limit {limit_mean:.1f}")
+
+    # Shape: Mallacc median near the paper's 13 cycles, large reduction,
+    # Mallacc close to the limit study.
+    assert accel_med < base_med
+    assert 9 <= accel_med <= 20
+    assert accel_mean <= base_mean * 0.8
+    assert accel_mean <= limit_mean * 1.5

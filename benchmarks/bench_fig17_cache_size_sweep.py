@@ -1,0 +1,61 @@
+"""Figure 17: effect of malloc cache size on malloc speedup.
+
+Paper: "too small of a cache will result in slowdown rather than speedup ...
+once the cache is large enough to capture the majority of allocation
+requests, we quickly achieve speedup ... sized_deletes, tp, and tp_small use
+8, 25, and 4 size classes, respectively, and the speedup inflection points
+occur precisely at those malloc cache sizes."  (Class counts are those of
+*our* generated table: tp_small 4, sized_deletes 8, tp ~23.)
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.harness.figures import render_series
+from repro.harness.sweeps import sweep_cache_sizes
+from repro.workloads import MICROBENCHMARKS
+
+SIZES = (2, 4, 6, 8, 12, 16, 24, 32)
+SWEEP_OPS = int(os.environ.get("REPRO_BENCH_OPS", "3000")) // 3
+ORDER = ["antagonist", "gauss", "gauss_free", "sized_deletes", "tp", "tp_small"]
+
+
+def test_fig17_cache_size_sweep(benchmark):
+    def experiment():
+        return {
+            name: sweep_cache_sizes(MICROBENCHMARKS[name], sizes=SIZES, num_ops=SWEEP_OPS)
+            for name in ORDER
+        }
+
+    sweeps = run_once(benchmark, experiment)
+    print()
+    print(
+        render_series(
+            list(SIZES),
+            {name: sweeps[name].malloc_speedups for name in ORDER},
+            title="Figure 17 — malloc speedup (%) vs malloc cache entries",
+            x_label="entries",
+        )
+    )
+    print("limit study per ubench:",
+          {n: round(sweeps[n].limit_speedup, 1) for n in ORDER})
+    print("paper: tiny caches hurt; inflection at each ubench's class count; "
+          "sufficient caches reach within 10-20% of the limit")
+
+    for name in ORDER:
+        s = sweeps[name]
+        best = max(s.malloc_speedups)
+        at_2 = s.malloc_speedups[0]
+        at_32 = s.malloc_speedups[-1]
+        # A 2-entry cache is far worse than a sufficient one.
+        assert at_2 < best - 5 or best < 10
+        # Full-size cache achieves most of the benefit.
+        assert at_32 >= 0.6 * best
+
+    # tp_small (4 classes) saturates by 4-6 entries; tp (~23 classes) needs
+    # far more: its 4-entry point trails its 32-entry point badly.
+    tp_small = sweeps["tp_small"].malloc_speedups
+    tp = sweeps["tp"].malloc_speedups
+    assert tp_small[SIZES.index(6)] >= 0.75 * max(tp_small)
+    assert tp[SIZES.index(4)] < 0.6 * max(tp)

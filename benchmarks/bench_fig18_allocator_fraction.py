@@ -1,0 +1,40 @@
+"""Figure 18: fraction of time spent in the allocator.
+
+Paper: SPEC workloads spend 1-5% in TCMalloc, xapian ~5-7%, the masstree
+performance tests 13-18.6%, against the 6.9% Google fleet-wide figure from
+Kanev et al. (ISCA'15).
+"""
+
+from conftest import WORKLOAD_ORDER, run_once
+
+from repro.harness.figures import render_table
+
+WSC_FRACTION = 6.9  # Kanev et al., "Profiling a warehouse-scale computer"
+
+
+def test_fig18_allocator_fraction(benchmark, macro_comparisons):
+    comparisons = run_once(benchmark, lambda: macro_comparisons)
+    rows = []
+    fractions = {}
+    for name in WORKLOAD_ORDER:
+        c = comparisons[name]
+        fractions[name] = 100.0 * c.allocator_fraction
+        paper = c.paper.get("fig18", float("nan"))
+        rows.append([name, f"{fractions[name]:.2f}%", f"{paper:.2f}%"])
+    rows.append(["WSC (Kanev et al.)", "-", f"{WSC_FRACTION:.2f}%"])
+    print()
+    print(
+        render_table(
+            ["workload", "measured", "paper"],
+            rows,
+            title="Figure 18 — fraction of time spent in the allocator",
+        )
+    )
+
+    # Shape: masstree way above everything, tonto the smallest, SPEC in the
+    # low single digits — each within ~2x of the paper's bar.
+    for name in WORKLOAD_ORDER:
+        paper = comparisons[name].paper["fig18"]
+        assert 0.4 * paper <= fractions[name] <= 2.0 * paper, name
+    assert fractions["masstree.wcol1"] == max(fractions.values())
+    assert fractions["465.tonto"] == min(fractions.values())

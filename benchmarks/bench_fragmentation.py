@@ -1,0 +1,103 @@
+"""Size-class density vs fragmentation: why TCMalloc carries ~88 classes.
+
+Section 3.1: "TCMalloc currently has 88 size classes, a relatively large
+number picked to keep memory fragmentation low", and Section 2: allocators
+are judged on speed *and* fragmentation.  This bench sweeps table density —
+from the buddy allocator's power-of-two extreme (≈19 classes) through
+thinned TCMalloc tables to the full table — and prices each in rounding
+waste over the macro workloads' size mixes.
+"""
+
+import random
+
+from conftest import BENCH_OPS, run_once
+
+from repro.alloc.buddy import BuddyAllocator
+from repro.alloc.fragmentation import internal_fragmentation_of_table
+from repro.alloc.size_classes import SizeClassTable
+from repro.harness.figures import render_table
+from repro.workloads.base import OpKind
+from repro.workloads.macro import MACRO_WORKLOADS
+
+
+class ThinnedTable:
+    """The real table with only every k-th class kept (rounding upward)."""
+
+    def __init__(self, table: SizeClassTable, keep_every: int) -> None:
+        self.table = table
+        self.kept = [
+            cl
+            for cl in range(1, table.num_classes)
+            if (cl - 1) % keep_every == 0 or cl == table.num_classes - 1
+        ]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.kept)
+
+    def size_class_of(self, size: int) -> int:
+        for cl in self.kept:
+            if self.table.alloc_size_of(cl) >= size:
+                return cl
+        return self.kept[-1]
+
+    def alloc_size_of(self, cl: int) -> int:
+        return self.table.alloc_size_of(cl)
+
+
+class BuddyTable:
+    """Power-of-two rounding as a degenerate size-class table."""
+
+    def size_class_of(self, size: int) -> int:
+        return BuddyAllocator.order_for(size)
+
+    def alloc_size_of(self, order: int) -> int:
+        return 1 << order
+
+
+def workload_sizes(num_ops: int) -> list[int]:
+    """Small-request sizes drawn from all macro models plus a uniform mix."""
+    sizes: list[int] = []
+    for workload in MACRO_WORKLOADS.values():
+        for op in workload.ops(seed=2, num_ops=num_ops // 8):
+            if op.kind is OpKind.MALLOC and op.size <= 256 * 1024:
+                sizes.append(op.size)
+    rng = random.Random(4)
+    sizes.extend(rng.randint(17, 4000) for _ in range(num_ops // 4))
+    return sizes
+
+
+def test_class_density_vs_fragmentation(benchmark):
+    def experiment():
+        table = SizeClassTable.generate()
+        sizes = workload_sizes(BENCH_OPS)
+        configs = [
+            ("full table", table, table.num_classes - 1),
+            ("every 2nd class", ThinnedTable(table, 2), None),
+            ("every 4th class", ThinnedTable(table, 4), None),
+            ("power-of-two (buddy)", BuddyTable(), 19),
+        ]
+        rows = []
+        for name, t, classes in configs:
+            frag = internal_fragmentation_of_table(t, sizes)
+            count = classes if classes is not None else t.num_classes
+            rows.append((name, count, frag))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        render_table(
+            ["table", "classes", "internal fragmentation"],
+            [[n, str(c), f"{100 * f:.1f}%"] for n, c, f in rows],
+            title="Size-class density vs rounding waste (macro size mixes)",
+        )
+    )
+    print("paper: the large class count exists 'to keep memory "
+          "fragmentation low'; buddy rounding is the costly extreme")
+
+    frags = [f for _, _, f in rows]
+    # Monotone: fewer classes, more waste; full table under its design bound.
+    assert frags[0] < frags[1] < frags[3]
+    assert frags[0] < 0.15
+    assert frags[3] > 2 * frags[0]

@@ -1,0 +1,68 @@
+"""Sampling fidelity: the PMU counter must not degrade heap profiling.
+
+Section 4.2 moves sampling from a fast-path countdown into a performance
+counter.  The feature exists to "analyze memory usage and debug memory
+leaks" in production, so the acceptance test is: heap profiles reconstructed
+from the PMU's samples estimate true allocation volume as accurately as the
+software sampler's — while the fast path sheds the countdown entirely.
+"""
+
+import random
+
+from conftest import BENCH_OPS, run_once
+
+from repro.alloc import AllocatorConfig, TCMalloc
+from repro.alloc.heap_profile import fidelity
+from repro.core import MallaccTCMalloc
+from repro.harness.figures import render_table
+
+PERIOD = 64 * 1024
+
+
+def test_sampling_fidelity(benchmark):
+    def experiment():
+        out = {}
+        for label, cls in (("software countdown", TCMalloc), ("Mallacc PMU", MallaccTCMalloc)):
+            alloc = cls(config=AllocatorConfig(sample_parameter=PERIOD, release_rate=0))
+            rng = random.Random(21)
+            total = 0
+            live = []
+            for _ in range(BENCH_OPS):
+                size = rng.choice([16, 32, 64, 256, 1024, 4096])
+                p, _ = alloc.malloc(size)
+                total += size
+                live.append((p, size))
+                if len(live) > 64:
+                    alloc.sized_free(*live.pop(0))
+            samples = (
+                alloc.pmu.samples if isinstance(alloc, MallaccTCMalloc) else alloc.sampler.samples
+            )
+            out[label] = fidelity(samples, PERIOD, total)
+        return out
+
+    reports = run_once(benchmark, experiment)
+    rows = [
+        [
+            label,
+            str(r.samples),
+            f"{r.true_bytes / 1024:.0f} KB",
+            f"{r.estimated_bytes / 1024:.0f} KB",
+            f"{100 * r.relative_error:.1f}%",
+        ]
+        for label, r in reports.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["sampler", "samples", "true alloc", "estimated", "error"],
+            rows,
+            title="Sampling fidelity — heap profile reconstruction",
+        )
+    )
+
+    for label, r in reports.items():
+        assert r.samples > 5, label
+        assert r.relative_error < 0.5, label
+    # Both samplers fire at statistically equal rates.
+    sw, pmu = reports["software countdown"], reports["Mallacc PMU"]
+    assert abs(sw.samples - pmu.samples) <= max(4, 0.5 * sw.samples)

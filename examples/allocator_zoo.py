@@ -1,0 +1,89 @@
+"""The allocator zoo: four designs, one substrate, one accelerator.
+
+Section 2 of the paper surveys the allocator design space — early free-list
+searching, the buddy system, and the modern multithreaded generation
+(TCMalloc, jemalloc, Hoard).  This repository implements all of them on the
+same simulated machine; this example races them on an identical workload and
+shows where each sits on the speed/fragmentation plane, then applies Mallacc
+to the three modern ones.
+
+Run:  python examples/allocator_zoo.py
+"""
+
+import random
+
+from repro import Jemalloc, TCMalloc, make_mallacc_jemalloc
+from repro.alloc.buddy import BuddyAllocator
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.fragmentation import measure
+from repro.alloc.hoard import HoardAllocator, MallaccHoard
+from repro.core import MallaccTCMalloc
+
+SIZES = [24, 40, 72, 130, 260, 700, 1500]
+OPS = 1500
+
+
+def churn(alloc, is_record_style):
+    """Random malloc/free churn; returns (mean malloc cycles, allocator)."""
+    rng = random.Random(7)
+    live = []
+    malloc_cycles = mallocs = 0
+    for _ in range(OPS):
+        if live and rng.random() < 0.5:
+            victim = live.pop(rng.randrange(len(live)))
+            alloc.free(victim)
+        else:
+            size = rng.choice(SIZES)
+            if is_record_style:
+                ptr, rec = alloc.malloc(size)
+                malloc_cycles += rec.cycles
+            else:
+                ptr, cycles = alloc.malloc(size)
+                malloc_cycles += cycles
+            live.append(ptr)
+            mallocs += 1
+    return malloc_cycles / mallocs, alloc
+
+
+def fragmentation_of(alloc):
+    """Internal (rounding) fragmentation of the live set, comparably for
+    every design."""
+    if isinstance(alloc, BuddyAllocator):
+        return alloc.stats.internal_fragmentation
+    if isinstance(alloc, HoardAllocator):
+        requested = allocated = 0
+        for size, cl in alloc.live.values():
+            requested += size
+            allocated += alloc.block_size_of(cl)
+        return 1.0 - requested / allocated if allocated else 0.0
+    report = measure(alloc)
+    return report.internal
+
+
+def main():
+    cfg = AllocatorConfig(release_rate=0)
+    zoo = [
+        ("TCMalloc", TCMalloc(config=cfg), True),
+        ("TCMalloc+Mallacc", MallaccTCMalloc(config=cfg), True),
+        ("jemalloc", Jemalloc(config=cfg), True),
+        ("jemalloc+Mallacc", make_mallacc_jemalloc(config=cfg), True),
+        ("Hoard", HoardAllocator(config=cfg), False),
+        ("Hoard+Mallacc", MallaccHoard(config=cfg), False),
+        ("binary buddy", BuddyAllocator(config=cfg), False),
+    ]
+    print(f"{'allocator':>18} {'mean malloc cy':>15} {'fragmentation':>14}")
+    for name, alloc, record_style in zoo:
+        mean_cycles, alloc = churn(alloc, record_style)
+        frag = fragmentation_of(alloc)
+        print(f"{name:>18} {mean_cycles:>15.1f} {100 * frag:>13.1f}%")
+
+    print()
+    print("The modern trio cluster at ~20-40 cycles with single-digit")
+    print("rounding waste; the buddy system pays ~25% fragmentation for its")
+    print("combinational-logic simplicity (Section 2's history in one")
+    print("table), and the same Mallacc hardware accelerates all three")
+    print("modern designs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Cache isolation: Mallacc under a cache-hostile application.
+
+Section 3.2: "thread caches are very cheap in microbenchmarks, but can get
+significantly more expensive when the requesting application itself is
+cache-heavy ... a cheap 18-cycle fast-path call can turn into a hefty
+100-cycle stall".  The malloc cache keeps copies of the free-list heads
+inside the core, isolating the fast path from that eviction.
+
+This example runs the paper's antagonist microbenchmark — which evicts the
+less-used half of every L1/L2 set after each allocation — and shows how much
+of the damage Mallacc undoes.
+
+Run:  python examples/cache_antagonist.py
+"""
+
+from repro import MICRO, compare_workload
+from repro.harness.metrics import mean_cycles
+
+
+def main():
+    friendly = compare_workload(MICRO["gauss_free"], num_ops=2000)
+    hostile = compare_workload(MICRO["antagonist"], num_ops=2000)
+
+    print("mean malloc latency (cycles):")
+    print(f"{'':>24} {'baseline':>9} {'Mallacc':>9} {'saved':>7}")
+    for label, comp in (("cache-friendly (gauss_free)", friendly),
+                        ("cache-hostile (antagonist)", hostile)):
+        b = mean_cycles(comp.baseline.records)
+        a = mean_cycles(comp.mallacc.records)
+        print(f"{label:>27} {b:>9.1f} {a:>9.1f} {b - a:>6.1f}")
+
+    print("\nallocator time improvement:")
+    print(f"  gauss_free : {friendly.allocator_improvement:.1f}%")
+    print(f"  antagonist : {hostile.allocator_improvement:.1f}%")
+    print("\nThe antagonist's evictions make the baseline's free-list loads "
+          "miss to L2/L3;\nMallacc's in-core copies of head/next dodge those "
+          "misses entirely, so its\nabsolute savings are larger under attack "
+          "— the Figure 16 'cache isolation' effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Mallacc: Accelerating Memory Allocation — full-system Python reproduction.
+
+This package reproduces Kanev, Xi, Wei & Brooks, *Mallacc: Accelerating
+Memory Allocation* (ASPLOS 2017) end to end:
+
+* :mod:`repro.sim` — the hardware substrate: simulated memory, a Haswell-like
+  cache hierarchy/TLB/branch model, and a dependency-graph out-of-order
+  timing model (the XIOSim substitute);
+* :mod:`repro.alloc` — a from-scratch TCMalloc: 88-ish size classes, thread
+  caches, central free lists, span-based page heap, allocation sampling;
+* :mod:`repro.core` — Mallacc itself: the malloc cache, the five new
+  instructions, the sampling PMU counter, the area model, and
+  :class:`~repro.core.MallaccTCMalloc`, TCMalloc with the accelerated fast
+  path;
+* :mod:`repro.workloads` — the paper's six microbenchmarks and synthetic
+  models of its eight macro workloads;
+* :mod:`repro.harness` — runners and renderers for every table and figure in
+  the evaluation.
+
+Quickstart::
+
+    from repro import compare_workload, MICRO, MACRO
+
+    result = compare_workload(MICRO["tp_small"], num_ops=2000)
+    print(f"malloc sped up {result.malloc_improvement:.0f}%")
+"""
+
+from repro.alloc import (
+    AllocatorConfig,
+    BuddyAllocator,
+    CallRecord,
+    Jemalloc,
+    Machine,
+    Path,
+    TCMalloc,
+    make_mallacc_jemalloc,
+)
+from repro.alloc.multithread import MultiThreadAllocator
+from repro.core import (
+    AreaModel,
+    MallaccTCMalloc,
+    MallocCache,
+    MallocCacheConfig,
+    SamplingCounter,
+)
+from repro.harness import RunResult, WorkloadComparison, compare_workload, run_workload
+from repro.workloads import MACRO_WORKLOADS as MACRO
+from repro.workloads import MICROBENCHMARKS as MICRO
+from repro.workloads import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocatorConfig",
+    "AreaModel",
+    "BuddyAllocator",
+    "CallRecord",
+    "Jemalloc",
+    "MultiThreadAllocator",
+    "make_mallacc_jemalloc",
+    "MACRO",
+    "MICRO",
+    "Machine",
+    "MallaccTCMalloc",
+    "MallocCache",
+    "MallocCacheConfig",
+    "Path",
+    "RunResult",
+    "SamplingCounter",
+    "TCMalloc",
+    "Workload",
+    "WorkloadComparison",
+    "compare_workload",
+    "run_workload",
+]

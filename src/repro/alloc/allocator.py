@@ -1,0 +1,355 @@
+"""The TCMalloc facade: ``malloc``/``free``/``sized_free`` walking Figure 3.
+
+Every call runs *functionally* (real pointers handed out and reclaimed, real
+free lists in simulated memory) while emitting the micro-op trace of its
+compiled x86 counterpart; scheduling the trace yields the call's cycle count.
+
+The fast path matches the paper's anatomy (Section 3.3): roughly 40 micro-ops
+— call overhead, the sampling countdown, the two-load size-class lookup, the
+free-list address computation, the two-load pop, and metadata updates — and
+costs 18-20 cycles when everything hits in L1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.alloc.central_cache import CentralFreeList
+from repro.alloc.constants import K_PAGE_SHIFT, AllocatorConfig
+from repro.alloc.context import Emitter, Machine
+from repro.alloc.page_heap import PageHeap
+from repro.alloc.sampler import Sampler
+from repro.alloc.size_classes import SizeClassTable
+from repro.alloc.thread_cache import ThreadCache
+from repro.sim.uop import Tag, Trace
+
+
+class Path(enum.Enum):
+    """Which pool ultimately satisfied the request (Figure 1's peaks)."""
+
+    FAST = "fast"  # thread-cache hit
+    CENTRAL = "central"  # thread-cache miss, central-list hit
+    PAGE_ALLOC = "page_alloc"  # central miss: span carved from the page heap
+    LARGE = "large"  # > 256 KB, straight to spans
+    FREE_FAST = "free_fast"  # push to thread cache, no overflow
+    FREE_SLOW = "free_slow"  # push triggered a release/scavenge
+    FREE_LARGE = "free_large"  # whole span returned
+
+
+MALLOC_PATHS = frozenset({Path.FAST, Path.CENTRAL, Path.PAGE_ALLOC, Path.LARGE})
+FREE_PATHS = frozenset({Path.FREE_FAST, Path.FREE_SLOW, Path.FREE_LARGE})
+
+
+@dataclass
+class SharedPools:
+    """The process-wide pools threads share (Section 3.1's lower levels)."""
+
+    table: SizeClassTable
+    page_heap: PageHeap
+    central_lists: list[CentralFreeList]
+
+
+@dataclass
+class CallRecord:
+    """Outcome of one allocator call."""
+
+    kind: str  # "malloc" or "free"
+    size: int
+    size_class: int
+    path: Path
+    cycles: int
+    num_uops: int
+    ptr: int
+    clock: int
+    """Machine clock when the call began."""
+    sampled: bool = False
+    ablated: dict[str, int] = field(default_factory=dict)
+    """Cycle counts of this call with named uop-tag sets removed."""
+
+    @property
+    def is_malloc(self) -> bool:
+        return self.kind == "malloc"
+
+    @property
+    def is_fast_path(self) -> bool:
+        return self.path in (Path.FAST, Path.FREE_FAST)
+
+
+class TCMalloc:
+    """A single-threaded TCMalloc instance on a simulated machine.
+
+    ``ablations`` maps a name to a set of :class:`Tag` values; each call is
+    additionally scheduled with those uops removed (the paper's limit-study
+    methodology) and the result stored in ``CallRecord.ablated``.
+    """
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        config: AllocatorConfig | None = None,
+        ablations: dict[str, frozenset[Tag]] | None = None,
+        shared: "SharedPools | None" = None,
+    ) -> None:
+        self.machine = machine or Machine()
+        self.config = config or AllocatorConfig()
+        self.ablations = dict(ablations or {})
+        if shared is not None:
+            # Multithreaded mode: this instance is one thread's view over
+            # pools owned by a MultiThreadAllocator.
+            self.table = shared.table
+            self.page_heap = shared.page_heap
+            self.central_lists = shared.central_lists
+        else:
+            self.table = SizeClassTable.generate(self.machine.address_space)
+            self.page_heap = PageHeap(self.machine.address_space, self.config)
+            self.central_lists = [
+                CentralFreeList(cl, self.table, self.page_heap, self.config)
+                for cl in range(self.table.num_classes)
+            ]
+        self.thread_cache = ThreadCache(
+            self.machine, self.table, self.central_lists, self.config
+        )
+        self.sampler = Sampler(self.machine, self.config)
+        self.live: dict[int, tuple[int, int]] = {}
+        """ptr -> (requested size, size class); class 0 marks large spans."""
+        self.records: list[CallRecord] = []
+        self.keep_records: bool = True
+
+    # ------------------------------------------------------------------ malloc
+    def malloc(self, size: int) -> tuple[int, CallRecord]:
+        """Allocate ``size`` bytes; returns ``(ptr, record)``."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        clock0 = self.machine.clock
+        em = self.machine.new_emitter()
+        self._emit_prologue(em)
+
+        sampled = self._emit_sampling_check(em, size)
+        small = size <= self.config.max_size
+        em.branch("malloc_is_small", taken=small, tag=Tag.ADDRESSING)
+
+        populates_before = self.page_heap.stats.spans_allocated
+        if small:
+            lookup = self._emit_size_class_lookup(em, size)
+            cl = lookup.size_class
+            ptr, fast = self.thread_cache.allocate(em, cl, lookup.cls_uop, lookup.size_uop)
+            if fast:
+                path = Path.FAST
+            elif self.page_heap.stats.spans_allocated > populates_before:
+                path = Path.PAGE_ALLOC
+            else:
+                path = Path.CENTRAL
+        else:
+            cl, alloc_size = 0, self._pages_for(size) << K_PAGE_SHIFT
+            span = self.page_heap.allocate_span(em, self._pages_for(size))
+            ptr = span.start_addr
+            path = Path.LARGE
+
+        if sampled:
+            self._record_sample(em, size)
+        self._emit_epilogue(em)
+
+        if ptr in self.live:
+            raise AssertionError(f"allocator returned live pointer {ptr:#x}")
+        self.live[ptr] = (size, cl)
+
+        record = self._finish(em, "malloc", size, cl, path, ptr, clock0, sampled)
+        return ptr, record
+
+    # ------------------------------------------------------------- derived API
+    def calloc(self, count: int, size: int) -> tuple[int, CallRecord]:
+        """Zeroed array allocation: a malloc plus a line-bandwidth-limited
+        memset of the rounded block."""
+        if count <= 0 or size <= 0:
+            raise ValueError("count and size must be positive")
+        total = count * size
+        ptr, record = self.malloc(total)
+        record.cycles += self._bulk_copy_cycles(self._rounded(total))
+        return ptr, record
+
+    def realloc(self, ptr: int, new_size: int) -> tuple[int, CallRecord]:
+        """C ``realloc``: in place when the size class doesn't change,
+        otherwise allocate + copy + free (TCMalloc's strategy).
+
+        Returns ``(new_ptr, record)`` where the record is the dominant call
+        (the new allocation, or a cheap bookkeeping record when in place).
+        """
+        if ptr not in self.live:
+            raise ValueError(f"realloc of unallocated pointer {ptr:#x}")
+        if new_size <= 0:
+            raise ValueError("new_size must be positive")
+        old_size, old_cl = self.live[ptr]
+        small = new_size <= self.config.max_size
+        if small and old_cl != 0 and self.table.size_class_of(new_size) == old_cl:
+            # Same class: the block already fits; only bookkeeping changes.
+            self.live[ptr] = (new_size, old_cl)
+            em = self.machine.new_emitter()
+            self._emit_prologue(em)
+            lookup = self._emit_size_class_lookup(em, new_size)
+            em.branch("realloc_same_class", taken=True, deps=(lookup.cls_uop,))
+            self._emit_epilogue(em)
+            return ptr, self._finish(
+                em, "malloc", new_size, old_cl, Path.FAST, ptr, self.machine.clock, False
+            )
+        new_ptr, record = self.malloc(new_size)
+        record.cycles += self._bulk_copy_cycles(min(old_size, new_size))
+        if old_cl == 0:
+            self.free(ptr)
+        else:
+            self.sized_free(ptr, old_size)
+        return new_ptr, record
+
+    def memalign(self, alignment: int, size: int) -> tuple[int, CallRecord]:
+        """posix_memalign: allocate with the given power-of-two alignment.
+
+        Small alignments fall out of the size-class machinery (classes are
+        at least 16-byte aligned, spans page-aligned); larger ones round the
+        request up until a naturally aligned block arrives.
+        """
+        if alignment == 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a power of two")
+        request = size
+        while True:
+            ptr, record = self.malloc(request)
+            if ptr % alignment == 0:
+                self.live[ptr] = (size, self.live[ptr][1])
+                return ptr, record
+            # Misaligned: undo and retry with a larger request.  (Real
+            # TCMalloc computes the class directly; the retry models the
+            # same rounding without duplicating the table walk.)
+            entry_size, entry_cl = self.live[ptr]
+            if entry_cl == 0:
+                self.free(ptr)
+            else:
+                self.sized_free(ptr, entry_size)
+            request = max(request * 2, alignment)
+            if request > self.config.max_size * 4:
+                raise MemoryError("alignment unsatisfiable")
+
+    def _rounded(self, size: int) -> int:
+        if size > self.config.max_size:
+            return self._pages_for(size) << K_PAGE_SHIFT
+        return self.table.alloc_size_of(self.table.size_class_of(size))
+
+    def _bulk_copy_cycles(self, num_bytes: int) -> int:
+        """memcpy/memset cost: 32 bytes per cycle (two AVX stores)."""
+        return max(1, num_bytes // 32)
+
+    # ------------------------------------------------------------------ free
+    def free(self, ptr: int) -> CallRecord:
+        """Deallocate via the address→size-class pagemap lookup (non-sized)."""
+        return self._free_impl(ptr, sized_hint=None)
+
+    def sized_free(self, ptr: int, size: int) -> CallRecord:
+        """C++14 sized deallocation: the compiler supplies the size, so the
+        class comes from the cheap Figure 5 lookup instead of the pagemap."""
+        return self._free_impl(ptr, sized_hint=size)
+
+    def _free_impl(self, ptr: int, sized_hint: int | None) -> CallRecord:
+        if ptr not in self.live:
+            raise ValueError(f"free of unallocated pointer {ptr:#x}")
+        size, cl = self.live.pop(ptr)
+        clock0 = self.machine.clock
+        em = self.machine.new_emitter()
+        self._emit_prologue(em)
+
+        if cl == 0:
+            # Large span: always through the pagemap.
+            span, uop = self.page_heap.emit_pagemap_lookup(em, ptr)
+            if span is None:
+                raise AssertionError("live large pointer must map to a span")
+            self.page_heap.free_span(em, span)
+            path = Path.FREE_LARGE
+        else:
+            if sized_hint is not None:
+                lookup = self._emit_size_class_lookup(em, sized_hint)
+                lookup_uop = lookup.cls_uop
+                if lookup.size_class != cl:
+                    raise AssertionError("sized free hint maps to wrong class")
+            else:
+                _, lookup_uop = self.page_heap.emit_pagemap_lookup(
+                    em, ptr, tag=Tag.SIZE_CLASS
+                )
+            fast = self.thread_cache.deallocate(em, cl, ptr, lookup_uop)
+            path = Path.FREE_FAST if fast else Path.FREE_SLOW
+
+        self._emit_epilogue(em)
+        return self._finish(em, "free", size, cl, path, ptr, clock0, sampled=False)
+
+    # ------------------------------------------------------------------ hooks
+    def _emit_sampling_check(self, em: Emitter, size: int) -> bool:
+        """Fast-path sampling work; Mallacc replaces this with a PMU count."""
+        return self.sampler.emit_check(em, size)
+
+    def _record_sample(self, em: Emitter, size: int) -> None:
+        self.sampler.record_sample(em, size)
+
+    def _emit_size_class_lookup(self, em: Emitter, size: int):
+        """Size->class mapping; Mallacc replaces this with mcszlookup."""
+        return self.table.emit_lookup(em, size)
+
+    # ------------------------------------------------------------------ shared
+    def _pages_for(self, size: int) -> int:
+        return (size + (1 << K_PAGE_SHIFT) - 1) >> K_PAGE_SHIFT
+
+    def _emit_prologue(self, em: Emitter) -> None:
+        """Call overhead: saving registers, frame setup (~¼ of the fast
+        path's residual cycles per Section 3.3).  These issue in parallel
+        with the useful work — they consume slots, not latency."""
+        for _ in range(6):
+            em.alu(tag=Tag.CALL_OVERHEAD)
+
+    def _emit_epilogue(self, em: Emitter) -> None:
+        for _ in range(5):
+            em.alu(tag=Tag.CALL_OVERHEAD)
+
+    def _finish(
+        self,
+        em: Emitter,
+        kind: str,
+        size: int,
+        cl: int,
+        path: Path,
+        ptr: int,
+        clock0: int,
+        sampled: bool,
+    ) -> CallRecord:
+        trace = em.build()
+        result = self.machine.timing.run(trace)
+        record = CallRecord(
+            kind=kind,
+            size=size,
+            size_class=cl,
+            path=path,
+            cycles=result.cycles,
+            num_uops=len(trace),
+            ptr=ptr,
+            clock=clock0,
+            sampled=sampled,
+        )
+        for name, tags in self.ablations.items():
+            record.ablated[name] = self.machine.timing.run(trace.without_tags(tags)).cycles
+        self.machine.advance(result.cycles)
+        if self.keep_records:
+            self.records.append(record)
+        self._post_schedule(trace, result)
+        return record
+
+    def _post_schedule(self, trace: Trace, result) -> None:
+        """Hook for subclasses (Mallacc resolves prefetch arrival here)."""
+
+    # ------------------------------------------------------------------ checks
+    def check_conservation(self) -> None:
+        """No pointer is simultaneously live and on a free list; cached and
+        central object counts are self-consistent (test hook)."""
+        for cl in range(1, self.table.num_classes):
+            flist = self.thread_cache.lists[cl]
+            for ptr in flist.iter_blocks():
+                if ptr in self.live:
+                    raise AssertionError(f"{ptr:#x} live and free (class {cl})")
+        self.page_heap.check_invariants()
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(size for size, _ in self.live.values())

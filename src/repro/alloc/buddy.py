@@ -1,0 +1,171 @@
+"""A binary buddy allocator: the prior hardware-allocation approach.
+
+Section 2: hardware allocator work before Mallacc consisted of "several
+variations of the buddy technique, which show that it easily maps to purely
+combinational logic.  While buddy allocation has been available for decades,
+modern allocators have converged to simpler techniques in their highest-level
+pools ... most likely due to buddy systems' reported high degrees of
+fragmentation and relative complexity."
+
+This module implements the classic Knowlton buddy system on the same
+simulated substrate so that argument is measurable: block sizes are powers
+of two, a free block may split into two buddies, and a freed block merges
+only with *its* buddy.  ``benchmarks/bench_buddy_comparison.py`` reproduces
+the Section 2 comparison — internal fragmentation vs TCMalloc's size-class
+scheme, and allocation latency vs the thread-cache fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.context import Emitter, Machine
+from repro.sim.uop import Tag
+
+MIN_ORDER = 4  # 16-byte minimum block
+MAX_ORDER = 22  # 4 MB arena
+
+
+@dataclass
+class BuddyStats:
+    allocations: int = 0
+    frees: int = 0
+    splits: int = 0
+    merges: int = 0
+    requested_bytes: int = 0
+    allocated_bytes: int = 0
+
+    @property
+    def internal_fragmentation(self) -> float:
+        """Wasted fraction of allocated memory (the buddy system's weak
+        spot: a 33-byte request burns a 64-byte block)."""
+        if not self.allocated_bytes:
+            return 0.0
+        return 1.0 - self.requested_bytes / self.allocated_bytes
+
+
+@dataclass
+class BuddyAllocator:
+    """A single-arena binary buddy allocator with timed operations."""
+
+    machine: Machine = field(default_factory=Machine)
+    config: AllocatorConfig = field(default_factory=AllocatorConfig)
+    stats: BuddyStats = field(default_factory=BuddyStats)
+    free_lists: dict[int, list[int]] = field(default_factory=dict)
+    live: dict[int, tuple[int, int]] = field(default_factory=dict)
+    """ptr -> (requested size, order)."""
+    arena_base: int = 0
+
+    def __post_init__(self) -> None:
+        reservation = self.machine.address_space.reserve_pages(
+            (1 << MAX_ORDER) // self.machine.address_space.page_size
+        )
+        self.arena_base = reservation.start
+        self.free_lists = {order: [] for order in range(MIN_ORDER, MAX_ORDER + 1)}
+        self.free_lists[MAX_ORDER].append(self.arena_base)
+
+    # -- size mapping ---------------------------------------------------------
+    @staticmethod
+    def order_for(size: int) -> int:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        order = max(MIN_ORDER, (size - 1).bit_length())
+        if order > MAX_ORDER:
+            raise MemoryError("request exceeds arena")
+        return order
+
+    def _buddy_of(self, addr: int, order: int) -> int:
+        return self.arena_base + ((addr - self.arena_base) ^ (1 << order))
+
+    # -- allocation -------------------------------------------------------------
+    def malloc(self, size: int) -> tuple[int, int]:
+        """Allocate; returns ``(ptr, cycles)``.
+
+        Timing: the order computation is combinational (one ALU), then one
+        free-list head load per order probed, and one split (a store to the
+        new buddy's header) per level descended — the hardware-friendly
+        structure prior work exploited, with the fragmentation bill attached.
+        """
+        em = self.machine.new_emitter()
+        order = self.order_for(size)
+        dep = (em.alu(tag=Tag.SIZE_CLASS),)
+
+        found = None
+        for probe in range(order, MAX_ORDER + 1):
+            uop = em.load_table(
+                self.arena_base + probe * 8, deps=dep, tag=Tag.PUSH_POP
+            )
+            dep = (uop,)
+            if self.free_lists[probe]:
+                found = probe
+                break
+        if found is None:
+            raise MemoryError("buddy arena exhausted")
+
+        addr = self.free_lists[found].pop()
+        while found > order:
+            found -= 1
+            buddy = self._buddy_of(addr, found)
+            self.free_lists[found].append(buddy)
+            uop = em.store_word(buddy, found, deps=dep, tag=Tag.PUSH_POP)
+            dep = (uop,)
+            self.stats.splits += 1
+
+        self.live[addr] = (size, order)
+        self.stats.allocations += 1
+        self.stats.requested_bytes += size
+        self.stats.allocated_bytes += 1 << order
+        result = self.machine.timing.run(em.build())
+        self.machine.advance(result.cycles)
+        return addr, result.cycles
+
+    def free(self, ptr: int) -> int:
+        """Free with eager buddy coalescing; returns cycles."""
+        if ptr not in self.live:
+            raise ValueError(f"free of unallocated pointer {ptr:#x}")
+        size, order = self.live.pop(ptr)
+        self.stats.frees += 1
+        self.stats.requested_bytes -= size
+        self.stats.allocated_bytes -= 1 << order
+
+        em = self.machine.new_emitter()
+        dep: tuple[int, ...] = (em.alu(tag=Tag.SIZE_CLASS),)
+        addr = ptr
+        while order < MAX_ORDER:
+            buddy = self._buddy_of(addr, order)
+            uop = em.load_table(
+                self.arena_base + order * 8, deps=dep, tag=Tag.PUSH_POP
+            )
+            dep = (uop,)
+            if buddy not in self.free_lists[order]:
+                break
+            # Merge with the buddy: one level up.
+            self.free_lists[order].remove(buddy)
+            addr = min(addr, buddy)
+            order += 1
+            self.stats.merges += 1
+        self.free_lists[order].append(addr)
+        em.store_word(addr, order, deps=dep, tag=Tag.PUSH_POP)
+        result = self.machine.timing.run(em.build())
+        self.machine.advance(result.cycles)
+        return result.cycles
+
+    # -- introspection ------------------------------------------------------------
+    def free_bytes(self) -> int:
+        return sum((1 << o) * len(lst) for o, lst in self.free_lists.items())
+
+    def check_invariants(self) -> None:
+        """Free + live block bytes cover the arena exactly; no block appears
+        twice; every free block is properly aligned for its order."""
+        seen: set[int] = set()
+        total = self.free_bytes() + sum(1 << o for _, o in self.live.values())
+        if total != 1 << MAX_ORDER:
+            raise AssertionError("arena bytes not conserved")
+        for order, lst in self.free_lists.items():
+            for addr in lst:
+                if addr in seen:
+                    raise AssertionError(f"block {addr:#x} on two lists")
+                seen.add(addr)
+                if (addr - self.arena_base) % (1 << order):
+                    raise AssertionError("misaligned buddy block")

@@ -1,0 +1,91 @@
+"""Allocator-wide constants and configuration.
+
+Values mirror gperftools (the open-source TCMalloc the paper used, revision
+050f2d) and the figures quoted in the paper text: 8 KB pages, a 256 KB
+small-allocation threshold, 88 size classes, a 2 MB thread-cache garbage
+collection threshold, and "approx 64k transfers between thread and central
+caches".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --- Size-class machinery (gperftools common.h) -------------------------
+K_ALIGNMENT = 8
+"""Baseline alignment; the class-index function works in units of this."""
+
+K_MIN_ALIGN = 16
+"""Minimum alignment of returned objects (gperftools default build)."""
+
+K_PAGE_SHIFT = 13
+K_PAGE_SIZE = 1 << K_PAGE_SHIFT  # 8 KB TCMalloc pages
+
+K_MAX_SIZE = 256 * 1024
+"""Small-allocation threshold; larger requests bypass thread caches."""
+
+K_MAX_SMALL_SIZE = 1024
+"""Below this, class indices step by 8 bytes; above, by 128 bytes."""
+
+K_CLASS_ARRAY_SIZE = ((K_MAX_SIZE + 127 + (120 << 7)) >> 7) + 1
+"""Entries in the size→class lookup array (2169; 'slightly above 2100')."""
+
+K_DEFAULT_TRANSFER_OBJECTS = 32
+"""Cap on objects moved between thread and central caches per transfer."""
+
+K_MAX_DYNAMIC_FREE_LIST_LENGTH = 8192
+"""Cap on a thread-cache free list's max_length (slow-start ceiling)."""
+
+# --- Pool sizing ---------------------------------------------------------
+K_MAX_THREAD_CACHE_SIZE = 2 * 1024 * 1024
+"""Per-thread cache size that triggers a scavenge (2 MB per the paper)."""
+
+K_MAX_PAGES = 128
+"""Page heap keeps exact free lists for spans up to this many pages."""
+
+K_MIN_SYSTEM_ALLOC_PAGES = 16
+"""Pages requested from the OS at a time.  Real TCMalloc uses 1 MB (128
+pages); we scale down to 128 KB so OS-boundary events occur at the trace
+lengths this simulator runs (thousands, not millions, of calls)."""
+
+# --- Sampling ------------------------------------------------------------
+K_SAMPLE_PARAMETER = 512 * 1024
+"""Mean bytes between sampled allocations (tcmalloc default 512 KB)."""
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs for events the micro-op model treats as fixed blocks.
+
+    These price operations whose internals the paper does not evaluate
+    (locks, system calls, trace capture); they position the slow-path peaks
+    of Figure 1 at the right orders of magnitude (roughly 10^3 cycles for a
+    central-list refill, 10^4+ for the page allocator).
+    """
+
+    lock_acquire: int = 150
+    lock_release: int = 30
+    lock_contention: int = 0
+    syscall: int = 5000
+    madvise: int = 2000
+    stack_trace_capture: int = 800
+    pmu_interrupt: int = 400
+
+
+@dataclass(frozen=True)
+class AllocatorConfig:
+    """Tunable knobs for one allocator instance."""
+
+    page_shift: int = K_PAGE_SHIFT
+    max_size: int = K_MAX_SIZE
+    max_thread_cache_size: int = K_MAX_THREAD_CACHE_SIZE
+    sample_parameter: int = K_SAMPLE_PARAMETER
+    sampling_enabled: bool = True
+    release_rate: int = 4
+    """Every this many span frees, one free span is returned to the OS
+    (TCMalloc's page-release scavenging); 0 disables release."""
+    costs: CostModel = CostModel()
+
+    @property
+    def page_size(self) -> int:
+        return 1 << self.page_shift

@@ -1,0 +1,108 @@
+"""The machine an allocator runs on, and the per-call emission context.
+
+:class:`Machine` bundles the persistent hardware state — simulated memory,
+cache hierarchy, TLB, branch predictor, core timing model, and a global cycle
+clock.  :class:`Emitter` is created fresh for each allocator call; it couples
+a :class:`~repro.sim.uop.TraceBuilder` to the machine so that every
+functional memory access also emits a priced micro-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.branch import BranchPredictor
+from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.memory import SimulatedMemory, VirtualAddressSpace
+from repro.sim.timing import CoreConfig, TimingModel, TimingResult
+from repro.sim.tlb import TLB
+from repro.sim.uop import Tag, Trace, TraceBuilder
+
+
+@dataclass
+class Machine:
+    """All persistent simulated-hardware state for one core."""
+
+    memory: SimulatedMemory = field(default_factory=SimulatedMemory)
+    address_space: VirtualAddressSpace = field(default_factory=VirtualAddressSpace)
+    hierarchy: CacheHierarchy = field(default_factory=CacheHierarchy)
+    tlb: TLB = field(default_factory=TLB)
+    predictor: BranchPredictor = field(default_factory=BranchPredictor)
+    timing: TimingModel = field(default_factory=lambda: TimingModel(CoreConfig()))
+    clock: int = 0
+    """Global cycle count, advanced by allocator calls and application gaps."""
+
+    def new_emitter(self) -> "Emitter":
+        return Emitter(self)
+
+    def advance(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.clock += cycles
+
+
+class Emitter:
+    """Per-call coupling of functional state to the micro-op trace.
+
+    Allocator code calls :meth:`load_word`/:meth:`store_word` instead of
+    touching :class:`SimulatedMemory` directly; each call moves cache lines,
+    charges TLB penalties, and appends a micro-op carrying the resulting
+    latency.  Methods return the uop index for dependence threading.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.tb = TraceBuilder()
+
+    # -- memory ------------------------------------------------------------
+    def load_word(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> tuple[int, int]:
+        """Read simulated memory; returns ``(value, uop_index)``."""
+        value = self.machine.memory.read_word(addr)
+        latency = self.machine.hierarchy.access(addr) + self.machine.tlb.access(addr)
+        idx = self.tb.load(addr, latency, deps=deps, tag=tag)
+        return value, idx
+
+    def store_word(self, addr: int, value: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        """Write simulated memory; returns the uop index."""
+        self.machine.memory.write_word(addr, value)
+        self.machine.hierarchy.access(addr, write=True)
+        self.machine.tlb.access(addr)
+        return self.tb.store(addr, deps=deps, tag=tag)
+
+    def load_table(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        """A load from a read-only table (size-class arrays): prices the
+        access without needing a stored word.  Returns the uop index."""
+        latency = self.machine.hierarchy.access(addr) + self.machine.tlb.access(addr)
+        return self.tb.load(addr, latency, deps=deps, tag=tag)
+
+    # -- computation -------------------------------------------------------
+    def alu(self, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING, latency: int = 1) -> int:
+        return self.tb.alu(deps=deps, tag=tag, latency=latency)
+
+    def branch(self, site: str, taken: bool, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        penalty = self.machine.predictor.predict(site, taken)
+        return self.tb.branch(deps=deps, tag=tag, mispredict_penalty=penalty)
+
+    def fixed(self, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.SLOW_PATH) -> int:
+        return self.tb.fixed(latency, deps=deps, tag=tag)
+
+    def mallacc(self, latency: int, deps: tuple[int, ...] = ()) -> int:
+        return self.tb.mallacc(latency, deps=deps)
+
+    def prefetch_line(self, addr: int, deps: tuple[int, ...] = ()) -> tuple[int, int]:
+        """Issue an asynchronous line fetch; returns ``(uop_index, latency)``.
+
+        The latency is how long after issue the data lands (resolved against
+        live cache state, and the line is filled so later demand accesses
+        hit)."""
+        latency = self.machine.hierarchy.prefetch(addr)
+        idx = self.tb.prefetch(addr)
+        del deps  # prefetches never gate anything architecturally
+        return idx, latency
+
+    # -- finishing ---------------------------------------------------------
+    def build(self) -> Trace:
+        return self.tb.build()
+
+    def schedule(self) -> TimingResult:
+        return self.machine.timing.run(self.build())

@@ -1,0 +1,94 @@
+"""Fragmentation accounting.
+
+Section 2: "Allocators are judged on both the speed with which they satisfy
+a request and their memory fragmentation, which measures how much memory is
+requested from the OS vs. how much memory the application actually uses",
+and the 88-class table is "a relatively large number picked to keep memory
+fragmentation low".
+
+Three layers are measured:
+
+* **internal** — rounding waste: bytes allocated (rounded to size classes or
+  buddy powers) vs bytes requested;
+* **cached** — bytes parked in thread caches and central lists, committed
+  but unavailable to the application;
+* **external** — bytes reserved from the OS vs bytes in live objects: the
+  headline fragmentation figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.allocator import TCMalloc
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """A point-in-time fragmentation snapshot."""
+
+    requested_bytes: int
+    allocated_bytes: int
+    cached_bytes: int
+    reserved_bytes: int
+
+    @property
+    def internal(self) -> float:
+        """Rounding waste as a fraction of allocated bytes."""
+        if not self.allocated_bytes:
+            return 0.0
+        return 1.0 - self.requested_bytes / self.allocated_bytes
+
+    @property
+    def external(self) -> float:
+        """OS-reserved bytes not backing live data, as a fraction of
+        reserved bytes."""
+        if not self.reserved_bytes:
+            return 0.0
+        return max(0.0, 1.0 - self.requested_bytes / self.reserved_bytes)
+
+    @property
+    def overhead_factor(self) -> float:
+        """reserved / requested: 1.0 is perfect."""
+        if not self.requested_bytes:
+            return 1.0
+        return self.reserved_bytes / self.requested_bytes
+
+
+def measure(allocator: TCMalloc) -> FragmentationReport:
+    """Snapshot an allocator's fragmentation."""
+    requested = 0
+    allocated = 0
+    for size, cl in allocator.live.values():
+        requested += size
+        if cl == 0:
+            pages = allocator._pages_for(size)
+            allocated += pages * allocator.config.page_size
+        else:
+            allocated += allocator.table.alloc_size_of(cl)
+    cached = max(0, allocator.thread_cache.size_bytes)
+    for cl, central in enumerate(allocator.central_lists):
+        if cl:
+            cached += central.num_free_objects * allocator.table.alloc_size_of(cl)
+    reserved = (
+        allocator.page_heap.stats.bytes_from_system
+        - allocator.page_heap.stats.bytes_released
+    )
+    return FragmentationReport(
+        requested_bytes=requested,
+        allocated_bytes=allocated,
+        cached_bytes=cached,
+        reserved_bytes=reserved,
+    )
+
+
+def internal_fragmentation_of_table(table, sizes) -> float:
+    """Expected rounding waste of a size-class table over a size stream —
+    the experiment behind 'a relatively large number [of classes] picked to
+    keep memory fragmentation low'."""
+    requested = 0
+    allocated = 0
+    for size in sizes:
+        requested += size
+        allocated += table.alloc_size_of(table.size_class_of(size))
+    return 1.0 - requested / allocated if allocated else 0.0

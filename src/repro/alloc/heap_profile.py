@@ -1,0 +1,79 @@
+"""Heap profiling from allocation samples.
+
+Section 3.3: "Sampling is invaluable in a production setting for analyzing
+memory usage and debugging memory leaks without having to stop, let alone
+recompile, live jobs."  The samples themselves are only useful through the
+*estimator* that reconstructs heap usage from them — each sampled allocation
+of size ``s`` under a byte-countdown of period ``P`` represents roughly
+``max(P, s)/s`` allocations, the standard tcmalloc heap-profile weighting.
+
+This module builds that estimator and the fidelity check used by
+``benchmarks/bench_sampling_fidelity.py``: the Mallacc PMU sampler must
+produce heap profiles as accurate as the software countdown it replaces —
+the accelerator may not degrade the observability feature it absorbs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.alloc.sampler import SampleRecord
+
+
+@dataclass
+class HeapProfile:
+    """Estimated allocation totals by size, reconstructed from samples."""
+
+    period: int
+    estimated_bytes_by_size: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def estimated_total_bytes(self) -> float:
+        return sum(self.estimated_bytes_by_size.values())
+
+    def top_sizes(self, k: int = 5) -> list[tuple[int, float]]:
+        return sorted(
+            self.estimated_bytes_by_size.items(), key=lambda kv: -kv[1]
+        )[:k]
+
+
+def build_profile(samples: list[SampleRecord], period: int) -> HeapProfile:
+    """Reconstruct allocation volume from a sample stream.
+
+    The byte-countdown samples an allocation of size ``s`` with probability
+    ≈ ``min(1, s/P)``; inverting that weight de-biases the estimate (the
+    tcmalloc ``AllocValue`` scaling).
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    estimated: dict[int, float] = defaultdict(float)
+    for sample in samples:
+        weight = max(1.0, period / max(sample.size, 1))
+        estimated[sample.size] += weight * sample.size
+    return HeapProfile(period=period, estimated_bytes_by_size=dict(estimated))
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """How well a reconstructed profile matches ground truth."""
+
+    true_bytes: int
+    estimated_bytes: float
+    samples: int
+
+    @property
+    def relative_error(self) -> float:
+        if not self.true_bytes:
+            return 0.0
+        return abs(self.estimated_bytes - self.true_bytes) / self.true_bytes
+
+
+def fidelity(samples: list[SampleRecord], period: int, true_total_bytes: int) -> FidelityReport:
+    """Compare a profile's estimate against the actual bytes allocated."""
+    profile = build_profile(samples, period)
+    return FidelityReport(
+        true_bytes=true_total_bytes,
+        estimated_bytes=profile.estimated_total_bytes,
+        samples=len(samples),
+    )

@@ -1,0 +1,102 @@
+"""MallocExtension-style introspection: where every byte is.
+
+Real TCMalloc exposes ``MallocExtension::GetStats()`` — the per-pool byte
+accounting operators read when a job's memory misbehaves.  This module
+reproduces it for the simulated allocator: application bytes, thread-cache
+bytes, central/transfer-cache bytes, unmapped/free page-heap bytes, and the
+textual rendering ops are used to seeing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.allocator import TCMalloc
+
+
+@dataclass(frozen=True)
+class HeapStats:
+    """Byte accounting across the pool hierarchy at one instant."""
+
+    in_use_by_app: int
+    thread_cache_bytes: int
+    central_cache_bytes: int
+    transfer_cache_bytes: int
+    page_heap_free_bytes: int
+    released_to_os_bytes: int
+    reserved_from_os_bytes: int
+
+    @property
+    def heap_size(self) -> int:
+        """Bytes currently backed by the OS (reserved minus released)."""
+        return self.reserved_from_os_bytes - self.released_to_os_bytes
+
+    @property
+    def cached_bytes(self) -> int:
+        return (
+            self.thread_cache_bytes
+            + self.central_cache_bytes
+            + self.transfer_cache_bytes
+            + self.page_heap_free_bytes
+        )
+
+    def consistent(self) -> bool:
+        """Application + caches never exceed the live heap (slack allows for
+        rounding and span metadata)."""
+        return self.in_use_by_app + self.cached_bytes <= self.heap_size + 4096
+
+
+def collect_stats(allocator: TCMalloc) -> HeapStats:
+    """Walk every pool and account its bytes."""
+    in_use = 0
+    for size, cl in allocator.live.values():
+        if cl == 0:
+            in_use += allocator._pages_for(size) * allocator.config.page_size
+        else:
+            in_use += allocator.table.alloc_size_of(cl)
+
+    thread_bytes = 0
+    for cl in range(1, allocator.table.num_classes):
+        thread_bytes += (
+            allocator.thread_cache.lists[cl].length * allocator.table.alloc_size_of(cl)
+        )
+
+    central_bytes = 0
+    transfer_bytes = 0
+    for cl, central in enumerate(allocator.central_lists):
+        if cl == 0:
+            continue
+        obj = allocator.table.alloc_size_of(cl)
+        central_bytes += central.num_free_objects * obj
+        transfer_bytes += central.transfer.parked_objects * obj
+
+    page_free = allocator.page_heap.free_pages() * allocator.config.page_size
+    stats = allocator.page_heap.stats
+    return HeapStats(
+        in_use_by_app=in_use,
+        thread_cache_bytes=thread_bytes,
+        central_cache_bytes=central_bytes,
+        transfer_cache_bytes=transfer_bytes,
+        page_heap_free_bytes=page_free,
+        released_to_os_bytes=stats.bytes_released,
+        reserved_from_os_bytes=stats.bytes_from_system,
+    )
+
+
+def render_stats(stats: HeapStats) -> str:
+    """The classic MALLOC: block, tcmalloc style."""
+    rows = [
+        ("Bytes in use by application", stats.in_use_by_app),
+        ("Bytes in thread cache freelists", stats.thread_cache_bytes),
+        ("Bytes in central cache freelists", stats.central_cache_bytes),
+        ("Bytes in transfer cache freelists", stats.transfer_cache_bytes),
+        ("Bytes in page heap freelist", stats.page_heap_free_bytes),
+        ("Bytes released to OS (aka unmapped)", stats.released_to_os_bytes),
+        ("Actual memory used (physical + swap)", stats.heap_size),
+        ("Virtual address space used", stats.reserved_from_os_bytes),
+    ]
+    lines = ["------------------------------------------------", "MALLOC:"]
+    for label, value in rows:
+        lines.append(f"MALLOC: {value:>12} ({value / (1 << 20):6.1f} MiB) {label}")
+    lines.append("------------------------------------------------")
+    return "\n".join(lines)

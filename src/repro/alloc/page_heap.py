@@ -1,0 +1,238 @@
+"""The page heap: span-granular allocation backed by the (simulated) OS.
+
+This is the bottom pool of the Section 3.1 hierarchy: "TCMalloc allocates a
+span (a contiguous run of pages) from a page allocator ... Should the page
+allocator also be out of memory, TCMalloc then requests additional pages of
+memory from the operating system."
+
+Implements:
+
+* per-length free lists for spans up to ``K_MAX_PAGES`` pages plus a large
+  list, searched first-fit from the requested length upward;
+* span splitting on allocation and buddy-style coalescing with free
+  neighbours on deallocation;
+* a two-level radix pagemap whose *timed* lookups emit the dependent loads
+  (and TLB behaviour) that make non-sized ``free()`` expensive (Section 3.3:
+  the address→size-class mapping "tends to cache poorly, especially in the
+  TLB");
+* heap growth through a modeled system call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.constants import (
+    K_MAX_PAGES,
+    K_MIN_SYSTEM_ALLOC_PAGES,
+    K_PAGE_SHIFT,
+    AllocatorConfig,
+)
+from repro.alloc.context import Emitter
+from repro.alloc.span import Span, SpanSet, SpanState
+from repro.sim.memory import VirtualAddressSpace
+from repro.sim.uop import Tag
+
+_PAGEMAP_LEAF_PAGES = 1 << 15
+"""Pages covered by one pagemap leaf node."""
+
+
+@dataclass
+class PageHeapStats:
+    spans_allocated: int = 0
+    spans_freed: int = 0
+    spans_split: int = 0
+    spans_coalesced: int = 0
+    system_allocations: int = 0
+    bytes_from_system: int = 0
+    spans_released: int = 0
+    bytes_released: int = 0
+
+
+@dataclass
+class PageHeap:
+    """Span allocator with first-fit free lists and coalescing."""
+
+    address_space: VirtualAddressSpace
+    config: AllocatorConfig = field(default_factory=AllocatorConfig)
+    spans: SpanSet = field(default_factory=SpanSet)
+    stats: PageHeapStats = field(default_factory=PageHeapStats)
+    # free_lists[n] holds free spans of exactly n pages (n <= K_MAX_PAGES);
+    # larger spans live in large_list.
+    free_lists: dict[int, list[Span]] = field(default_factory=dict)
+    large_list: list[Span] = field(default_factory=list)
+    pagemap_root_addr: int = 0
+    pagemap_leaf_base: int = 0
+    _release_counter: int = 0
+
+    def __post_init__(self) -> None:
+        # Root node: one line; leaves: one word per page, spread across the
+        # metadata region so distinct pages map to distinct lines/TLB pages.
+        self.pagemap_root_addr = self.address_space.reserve_metadata(512)
+        self.pagemap_leaf_base = self.address_space.reserve_metadata(1 << 24, align=4096)
+
+    # -- pagemap ------------------------------------------------------------
+    def span_of_addr(self, addr: int) -> Span | None:
+        return self.spans.span_of_page(addr >> K_PAGE_SHIFT)
+
+    def emit_pagemap_lookup(
+        self, em: Emitter, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING
+    ) -> tuple[Span | None, int]:
+        """Timed radix lookup: root load, then a dependent leaf load whose
+        address is spread by page number.  Returns ``(span, uop)``.
+
+        Non-sized ``free()`` passes ``tag=Tag.SIZE_CLASS``: the pagemap walk
+        *is* free's size-class computation (Section 3.3's "hash lookup from
+        the address being freed to the size class"), and the limit study
+        removes it accordingly."""
+        page = addr >> K_PAGE_SHIFT
+        shift = em.alu(deps=deps, tag=tag)
+        root_word = self.pagemap_root_addr + ((page // _PAGEMAP_LEAF_PAGES) % 64) * 8
+        root_uop = em.load_table(root_word, deps=(shift,), tag=tag)
+        leaf_word = self.pagemap_leaf_base + (page % (1 << 21)) * 8
+        leaf_uop = em.load_table(leaf_word, deps=(root_uop,), tag=tag)
+        return self.spans.span_of_page(page), leaf_uop
+
+    # -- span allocation ----------------------------------------------------
+    def allocate_span(self, em: Emitter, num_pages: int, deps: tuple[int, ...] = ()) -> Span:
+        """Return an IN_USE span of exactly ``num_pages`` pages, splitting a
+        larger free span or growing the heap as needed."""
+        if num_pages <= 0:
+            raise ValueError("num_pages must be positive")
+        span = self._search_free(em, num_pages, deps)
+        if span is None:
+            self._grow_heap(em, num_pages, deps)
+            span = self._search_free(em, num_pages, deps)
+            if span is None:
+                raise AssertionError("heap growth must satisfy the request")
+        if span.num_pages > num_pages:
+            leftover = span.split(num_pages)
+            self.spans.register(leftover)
+            self._push_free(leftover)
+            self.stats.spans_split += 1
+            # Splitting rewrites pagemap boundaries: two stores.
+            em.store_word(self.pagemap_root_addr + 8, leftover.start_page, tag=Tag.SLOW_PATH)
+        span.state = SpanState.IN_USE
+        # Re-register boundaries after a possible split.
+        self.spans.register(span)
+        self.stats.spans_allocated += 1
+        return span
+
+    def free_span(self, em: Emitter, span: Span) -> None:
+        """Return a span, coalescing with free neighbours (buddy-style merge
+        of adjacent free runs)."""
+        if span.state is not SpanState.IN_USE:
+            raise ValueError("span is not in use")
+        span.state = SpanState.ON_NORMAL_FREELIST
+        span.size_class = 0
+        span.objects_free = 0
+        span.freelist_head = 0
+        self.stats.spans_freed += 1
+
+        # Coalesce with predecessor and successor if free.
+        prev = self.spans.span_of_page(span.start_page - 1)
+        if prev is not None and prev.state is SpanState.ON_NORMAL_FREELIST:
+            self._remove_free(prev)
+            self.spans.unregister(prev)
+            span.start_page = prev.start_page
+            span.num_pages += prev.num_pages
+            self.stats.spans_coalesced += 1
+        succ = self.spans.span_of_page(span.end_page)
+        if succ is not None and succ.state is SpanState.ON_NORMAL_FREELIST:
+            self._remove_free(succ)
+            self.spans.unregister(succ)
+            span.num_pages += succ.num_pages
+            self.stats.spans_coalesced += 1
+        self.spans.register(span)
+        self._push_free(span)
+        em.store_word(self.pagemap_root_addr + 16, span.start_page, tag=Tag.SLOW_PATH)
+        self._maybe_release_to_os(em)
+
+    def _maybe_release_to_os(self, em: Emitter) -> None:
+        """TCMalloc's page-release scavenging: every ``release_rate`` span
+        frees, return the largest free span to the OS (madvise).  Keeps
+        long-running processes from hoarding memory, at the price of future
+        system calls when the heap must grow again -- which is what puts
+        Figure 1's page-allocator peak at 10^4+ cycles."""
+        if not self.config.release_rate:
+            return
+        self._release_counter += 1
+        if self._release_counter < self.config.release_rate:
+            return
+        self._release_counter = 0
+        victim: Span | None = None
+        if self.large_list:
+            victim = max(self.large_list, key=lambda s: s.num_pages)
+        else:
+            for length in sorted(self.free_lists, reverse=True):
+                if self.free_lists[length]:
+                    victim = self.free_lists[length][-1]
+                    break
+        if victim is None:
+            return
+        self._remove_free(victim)
+        self.spans.unregister(victim)
+        self.stats.spans_released += 1
+        self.stats.bytes_released += victim.length_bytes
+        em.fixed(self.config.costs.madvise, tag=Tag.SLOW_PATH)
+
+    # -- internals ------------------------------------------------------------
+    def _search_free(self, em: Emitter, num_pages: int, deps: tuple[int, ...]) -> Span | None:
+        probe = None
+        for length in range(num_pages, K_MAX_PAGES + 1):
+            # Each probed list head is one load.
+            probe = em.load_table(
+                self.pagemap_root_addr + 24 + (length % 32) * 8,
+                deps=deps if probe is None else (probe,),
+                tag=Tag.SLOW_PATH,
+            )
+            bucket = self.free_lists.get(length)
+            if bucket:
+                return bucket.pop()
+        for i, span in enumerate(self.large_list):
+            if span.num_pages >= num_pages:
+                return self.large_list.pop(i)
+        return None
+
+    def _push_free(self, span: Span) -> None:
+        if span.num_pages <= K_MAX_PAGES:
+            self.free_lists.setdefault(span.num_pages, []).append(span)
+        else:
+            self.large_list.append(span)
+
+    def _remove_free(self, span: Span) -> None:
+        bucket = (
+            self.free_lists.get(span.num_pages, [])
+            if span.num_pages <= K_MAX_PAGES
+            else self.large_list
+        )
+        if span in bucket:
+            bucket.remove(span)
+
+    def _grow_heap(self, em: Emitter, num_pages: int, deps: tuple[int, ...]) -> None:
+        """Ask the OS for memory (a costly system call, Section 2)."""
+        ask = max(num_pages, K_MIN_SYSTEM_ALLOC_PAGES)
+        reservation = self.address_space.reserve_pages(ask)
+        self.stats.system_allocations += 1
+        self.stats.bytes_from_system += reservation.length
+        em.fixed(self.config.costs.syscall, deps=deps, tag=Tag.SLOW_PATH)
+        span = Span(start_page=reservation.start >> K_PAGE_SHIFT, num_pages=ask)
+        self.spans.register(span)
+        self._push_free(span)
+
+    # -- introspection ----------------------------------------------------------
+    def free_pages(self) -> int:
+        total = sum(n * len(lst) for n, lst in self.free_lists.items())
+        return total + sum(s.num_pages for s in self.large_list)
+
+    def check_invariants(self) -> None:
+        """Every free span is registered and non-overlapping (test hook)."""
+        claimed: dict[int, Span] = {}
+        for bucket in list(self.free_lists.values()) + [self.large_list]:
+            for span in bucket:
+                if span.state is not SpanState.ON_NORMAL_FREELIST:
+                    raise AssertionError("in-use span on a free list")
+                for page in range(span.start_page, span.end_page):
+                    if page in claimed:
+                        raise AssertionError(f"page {page} in two free spans")
+                    claimed[page] = span

@@ -1,0 +1,90 @@
+"""Spans: contiguous runs of TCMalloc pages.
+
+A span is the unit the page heap manages.  Small-object spans are carved into
+equal-sized chunks for one size class and handed to the central free list;
+large allocations (> 256 KB) are returned as whole spans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.alloc.constants import K_PAGE_SHIFT
+
+
+class SpanState(enum.Enum):
+    """Lifecycle of a span."""
+
+    ON_NORMAL_FREELIST = "free"
+    IN_USE = "in_use"
+
+
+@dataclass
+class Span:
+    """A run of ``num_pages`` pages starting at page number ``start_page``."""
+
+    start_page: int
+    num_pages: int
+    state: SpanState = SpanState.ON_NORMAL_FREELIST
+    size_class: int = 0
+    """0 for large spans; otherwise the class this span was carved for."""
+    objects_free: int = 0
+    """Free objects of this span currently sitting in the central list."""
+    freelist_head: int = 0
+    """Head of this span's object free list (address in simulated memory)."""
+
+    @property
+    def start_addr(self) -> int:
+        return self.start_page << K_PAGE_SHIFT
+
+    @property
+    def length_bytes(self) -> int:
+        return self.num_pages << K_PAGE_SHIFT
+
+    @property
+    def end_page(self) -> int:
+        return self.start_page + self.num_pages
+
+    def contains_page(self, page: int) -> bool:
+        return self.start_page <= page < self.end_page
+
+    def split(self, num_pages: int) -> "Span":
+        """Shrink this span to ``num_pages`` and return the leftover span."""
+        if not 0 < num_pages < self.num_pages:
+            raise ValueError("split size must be within the span")
+        leftover = Span(
+            start_page=self.start_page + num_pages,
+            num_pages=self.num_pages - num_pages,
+        )
+        self.num_pages = num_pages
+        return leftover
+
+
+@dataclass
+class SpanSet:
+    """Bookkeeping for all spans, keyed by page (the functional pagemap)."""
+
+    by_page: dict[int, Span] = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+
+    def register(self, span: Span) -> None:
+        self.spans.append(span)
+        self.by_page[span.start_page] = span
+        self.by_page[span.end_page - 1] = span
+
+    def register_interior(self, span: Span) -> None:
+        """Map every page of a small-object span (object→span lookups on
+        free() can land on any interior page)."""
+        for page in range(span.start_page, span.end_page):
+            self.by_page[page] = span
+
+    def unregister(self, span: Span) -> None:
+        if span in self.spans:
+            self.spans.remove(span)
+        for page in range(span.start_page, span.end_page):
+            if self.by_page.get(page) is span:
+                del self.by_page[page]
+
+    def span_of_page(self, page: int) -> Span | None:
+        return self.by_page.get(page)

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the repository's main entry points so results can be
+regenerated without writing code:
+
+* ``list``        — available workloads;
+* ``run``         — one workload under baseline + Mallacc, summary numbers;
+* ``sweep``       — malloc-cache size sensitivity for one workload (Fig. 17);
+* ``breakdown``   — fast-path component costs for a microbenchmark (Fig. 4);
+* ``area``        — the Section 6.4 area model;
+* ``validate``    — the Table 1 simulator validation;
+* ``trace-record``/``trace-run`` — capture a workload's op stream to a
+  trace file and replay a trace (including traces of real applications
+  converted to the format in :mod:`repro.workloads.tracefile`);
+* ``report``      — run the whole battery and write a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.area import AreaModel
+from repro.harness.ablation import fastpath_breakdown
+from repro.harness.experiments import compare_workload
+from repro.harness.figures import render_series, render_table
+from repro.harness.metrics import classes_for_coverage, median_cycles
+from repro.harness.sweeps import sweep_cache_sizes
+from repro.harness.validation import mean_error, validate
+from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS
+from repro.workloads.tracefile import dump_ops, trace_workload
+
+ALL_WORKLOADS = {**MICROBENCHMARKS, **MACRO_WORKLOADS}
+
+
+def _workload_or_die(name: str):
+    if name not in ALL_WORKLOADS:
+        sys.exit(
+            f"unknown workload {name!r}; run 'python -m repro list' for choices"
+        )
+    return ALL_WORKLOADS[name]
+
+
+def cmd_list(args: argparse.Namespace) -> None:
+    del args
+    rows = [[w.name, "micro" if w.name in MICROBENCHMARKS else "macro", w.description[:60]]
+            for w in ALL_WORKLOADS.values()]
+    print(render_table(["workload", "kind", "description"], rows))
+
+
+def cmd_run(args: argparse.Namespace) -> None:
+    workload = _workload_or_die(args.workload)
+    c = compare_workload(
+        workload, num_ops=args.ops, seed=args.seed, cache_entries=args.entries
+    )
+    print(f"workload          : {c.workload}  ({args.ops} ops, seed {args.seed})")
+    print(f"allocator fraction: {100 * c.allocator_fraction:.2f}%")
+    print(f"size classes @90% : {classes_for_coverage(c.baseline.records)}")
+    print(f"median malloc     : {median_cycles(c.baseline.records):.0f} -> "
+          f"{median_cycles(c.mallacc.records):.0f} cycles")
+    print(f"allocator speedup : {c.allocator_improvement:.1f}%  "
+          f"(limit {c.allocator_limit_improvement:.1f}%)")
+    print(f"malloc speedup    : {c.malloc_improvement:.1f}%  "
+          f"(limit {c.malloc_limit_improvement:.1f}%)")
+    print(f"program speedup   : {c.program_speedup:.2f}%")
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    workload = _workload_or_die(args.workload)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    result = sweep_cache_sizes(workload, sizes=sizes, num_ops=args.ops, seed=args.seed)
+    print(
+        render_series(
+            list(sizes),
+            {"malloc speedup %": result.malloc_speedups,
+             "allocator speedup %": result.allocator_speedups},
+            title=f"{workload.name}: speedup vs malloc-cache entries "
+                  f"(limit {result.limit_speedup:.1f}%)",
+            x_label="entries",
+        )
+    )
+
+
+def cmd_breakdown(args: argparse.Namespace) -> None:
+    if args.workload not in MICROBENCHMARKS:
+        sys.exit("breakdown expects a microbenchmark (see 'python -m repro list')")
+    b = fastpath_breakdown(MICROBENCHMARKS[args.workload], num_ops=args.ops, seed=args.seed)
+    rows = [
+        ["baseline", f"{b.baseline_cycles:.1f}"],
+        ["- sampling", f"{b.component_cost('sampling'):.1f}"],
+        ["- size class", f"{b.component_cost('size_class'):.1f}"],
+        ["- push/pop", f"{b.component_cost('push_pop'):.1f}"],
+        ["- combined", f"{b.component_cost('combined'):.1f} "
+                       f"({100 * b.combined_fraction:.0f}%)"],
+    ]
+    print(render_table(["fast path", "cycles"], rows, title=b.workload))
+
+
+def cmd_area(args: argparse.Namespace) -> None:
+    b = AreaModel.breakdown(args.entries)
+    print(f"malloc cache, {args.entries} entries "
+          f"({AreaModel.bits_per_entry(args.entries)} bits/entry):")
+    print(f"  CAM  : {b.cam_bits // 8:4d} B  {b.cam_area_um2:7.0f} um^2")
+    print(f"  SRAM : {b.sram_bits // 8:4d} B  {b.sram_area_um2:7.0f} um^2")
+    print(f"  logic:          {b.logic_area_um2:7.0f} um^2")
+    print(f"  total:          {b.total_um2:7.0f} um^2  "
+          f"= {100 * b.fraction_of_haswell_core:.4f}% of a Haswell core")
+
+
+def cmd_validate(args: argparse.Namespace) -> None:
+    rows = validate(num_ops=args.ops)
+    table = [
+        [r.workload, f"{r.simulated_cycles:.1f}", f"{r.analytic_cycles:.1f}",
+         f"{r.error_pct:.2f}%"]
+        for r in rows
+    ]
+    table.append(["Average", "", "", f"{mean_error(rows):.2f}%"])
+    print(render_table(["ubench", "simulated", "analytic", "error"], table,
+                       title="Simulator validation (Table 1)"))
+
+
+def cmd_trace_record(args: argparse.Namespace) -> None:
+    workload = _workload_or_die(args.workload)
+    count = dump_ops(workload.ops(seed=args.seed, num_ops=args.ops), args.out)
+    print(f"wrote {count} ops of {workload.name!r} to {args.out}")
+
+
+def cmd_trace_run(args: argparse.Namespace) -> None:
+    workload = trace_workload(args.trace)
+    c = compare_workload(workload, cache_entries=args.entries)
+    print(f"trace             : {args.trace}  ({workload.default_ops} ops)")
+    print(f"allocator speedup : {c.allocator_improvement:.1f}%  "
+          f"(limit {c.allocator_limit_improvement:.1f}%)")
+    print(f"malloc speedup    : {c.malloc_improvement:.1f}%")
+    print(f"median malloc     : {median_cycles(c.baseline.records):.0f} -> "
+          f"{median_cycles(c.mallacc.records):.0f} cycles")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from repro.harness.report import generate_report
+
+    generate_report(args.out, ops=args.ops, seed=args.seed)
+    print(f"report written to {args.out}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Mallacc (ASPLOS 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(fn=cmd_list)
+
+    run = sub.add_parser("run", help="compare baseline vs Mallacc on a workload")
+    run.add_argument("workload")
+    run.add_argument("--ops", type=int, default=3000)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--entries", type=int, default=32, help="malloc cache entries")
+    run.set_defaults(fn=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="malloc-cache size sweep (Figure 17)")
+    sweep.add_argument("workload")
+    sweep.add_argument("--sizes", default="2,4,8,16,32")
+    sweep.add_argument("--ops", type=int, default=1500)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.set_defaults(fn=cmd_sweep)
+
+    breakdown = sub.add_parser("breakdown", help="fast-path components (Figure 4)")
+    breakdown.add_argument("workload")
+    breakdown.add_argument("--ops", type=int, default=1500)
+    breakdown.add_argument("--seed", type=int, default=1)
+    breakdown.set_defaults(fn=cmd_breakdown)
+
+    area = sub.add_parser("area", help="silicon area model (Section 6.4)")
+    area.add_argument("--entries", type=int, default=16)
+    area.set_defaults(fn=cmd_area)
+
+    val = sub.add_parser("validate", help="simulator validation (Table 1)")
+    val.add_argument("--ops", type=int, default=1500)
+    val.set_defaults(fn=cmd_validate)
+
+    rec = sub.add_parser("trace-record", help="record a workload to a trace file")
+    rec.add_argument("workload")
+    rec.add_argument("--out", required=True)
+    rec.add_argument("--ops", type=int, default=2000)
+    rec.add_argument("--seed", type=int, default=1)
+    rec.set_defaults(fn=cmd_trace_record)
+
+    trun = sub.add_parser("trace-run", help="replay a trace file under baseline + Mallacc")
+    trun.add_argument("trace")
+    trun.add_argument("--entries", type=int, default=32)
+    trun.set_defaults(fn=cmd_trace_run)
+
+    rep = sub.add_parser("report", help="run the battery, write a markdown report")
+    rep.add_argument("--out", default="results.md")
+    rep.add_argument("--ops", type=int, default=2000)
+    rep.add_argument("--seed", type=int, default=1)
+    rep.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    main()

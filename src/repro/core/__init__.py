@@ -1,0 +1,36 @@
+"""Mallacc: the malloc accelerator (the paper's primary contribution).
+
+A tiny in-core hardware block consisting of:
+
+* the **malloc cache** (:mod:`repro.core.malloc_cache`) — a fully-associative
+  structure of a handful of entries, each learning the mapping from a
+  requested-size range to its size class *and* caching the first two elements
+  of that class's free list (Figure 8);
+* **five new instructions** (:mod:`repro.core.instructions`) —
+  ``mcszlookup``/``mcszupdate`` for size-class computation and
+  ``mchdpop``/``mchdpush``/``mcnxtprefetch`` for free-list manipulation
+  (Figures 9-12);
+* a **sampling performance counter** (:mod:`repro.core.sampling`) that
+  replaces the fast-path byte-countdown branch;
+* an **area model** (:mod:`repro.core.area`) reproducing the Section 6.4
+  claim that the whole block fits in ~1500 μm², 0.006% of a Haswell core.
+
+:class:`repro.core.accel_allocator.MallaccTCMalloc` is TCMalloc with its fast
+path rewritten to use these instructions, exactly as Figures 10 and 12
+integrate them.
+"""
+
+from repro.core.accel_allocator import MallaccTCMalloc
+from repro.core.area import AreaModel
+from repro.core.instructions import MallaccISA
+from repro.core.malloc_cache import MallocCache, MallocCacheConfig
+from repro.core.sampling import SamplingCounter
+
+__all__ = [
+    "AreaModel",
+    "MallaccISA",
+    "MallaccTCMalloc",
+    "MallocCache",
+    "MallocCacheConfig",
+    "SamplingCounter",
+]

@@ -1,0 +1,146 @@
+"""Allocators with the Mallacc fast path (Figures 10 and 12).
+
+:class:`MallaccFastPathMixin` contains the three fast-path overrides; mixing
+it over any allocator built on :class:`repro.alloc.allocator.TCMalloc`'s
+hook points yields its accelerated variant — the paper's central claim that
+Mallacc "is designed not for a specific allocator implementation".  Two
+instantiations ship here and in :mod:`repro.alloc.jemalloc`:
+
+* ``MallaccTCMalloc``  — TCMalloc with the accelerated fast path;
+* ``MallaccJemalloc``  — the jemalloc-style allocator, same instructions.
+
+The overrides are exactly the three fast-path components:
+
+* **size-class lookup** — ``mcszlookup`` first; on a miss the ordinary
+  Figure 5 software path runs, followed by ``mcszupdate``;
+* **sampling** — the byte countdown moves into the dedicated PMU counter;
+* **free-list pops/pushes** — ``mchdpop``/``mchdpush`` with software
+  fallback, plus ``mcnxtprefetch`` of the new head after every pop.
+
+All thread-cache list traffic — including slow-path batch transfers — is
+routed through the instructions (:class:`MallaccListOps`), which keeps the
+cached Head/Next copies coherent with the real lists;
+:meth:`repro.alloc.freelist.FreeList.pop_cached` raises if a cached value
+ever diverges.
+"""
+
+from __future__ import annotations
+
+from repro.alloc.allocator import TCMalloc
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.context import Emitter, Machine
+from repro.alloc.freelist import FreeList, PopResult
+from repro.alloc.size_classes import LookupResult
+from repro.core.instructions import MallaccISA
+from repro.core.malloc_cache import MallocCache, MallocCacheConfig
+from repro.core.sampling import SamplingCounter
+from repro.sim.memory import NULL
+from repro.sim.uop import Tag
+
+
+class MallaccListOps:
+    """Free-list strategy routing every push/pop through the malloc cache."""
+
+    def __init__(self, isa: MallaccISA, owner: "MallaccFastPathMixin") -> None:
+        self.isa = isa
+        self.owner = owner
+
+    def pop(self, em: Emitter, flist: FreeList, cl: int, addr_dep: tuple[int, ...]) -> PopResult:
+        outcome = self.isa.mchdpop(em, cl, deps=addr_dep)
+        if outcome.hit:
+            next_ptr = outcome.next_ptr
+            result_uop = outcome.uop
+            if next_ptr == NULL and flist.length > 1:
+                # Head-only ablation: software still loads the successor.
+                next_ptr, result_uop = em.load_word(
+                    outcome.head, deps=(outcome.uop,), tag=Tag.PUSH_POP
+                )
+            flist.pop_cached(em, outcome.head, next_ptr, deps=(result_uop,))
+            popped = PopResult(ptr=outcome.head, next_ptr=next_ptr, uop=outcome.uop)
+        else:
+            popped = flist.emit_pop(em, addr_dep=(outcome.uop,) + addr_dep)
+        # Figure 12, malloc_ret: prefetch the new head into the cache.
+        new_head = flist.head
+        if new_head != NULL:
+            self.isa.mcnxtprefetch(em, cl, new_head, deps=(popped.uop,))
+        return popped
+
+    def push(self, em: Emitter, flist: FreeList, cl: int, ptr: int, addr_dep: tuple[int, ...]) -> int:
+        hit, old_head, uop = self.isa.mchdpush(em, cl, ptr, deps=addr_dep)
+        if hit:
+            flist.push_cached(em, ptr, old_head, deps=(uop,))
+        else:
+            flist.emit_push(em, ptr, addr_dep=(uop,) + addr_dep)
+        return uop
+
+
+class MallaccFastPathMixin:
+    """The accelerated fast path, mixable over any TCMalloc-family allocator.
+
+    Subclasses must call :meth:`_attach_mallacc` once their pools exist.
+    """
+
+    isa: MallaccISA
+    pmu: SamplingCounter
+
+    def _attach_mallacc(self, cache_config: MallocCacheConfig | None = None) -> None:
+        self.isa = MallaccISA(cache=MallocCache(cache_config or MallocCacheConfig()))
+        self.pmu = SamplingCounter(config=self.config)
+        self.thread_cache.list_ops = MallaccListOps(self.isa, self)
+
+    @property
+    def malloc_cache(self) -> MallocCache:
+        return self.isa.cache
+
+    # -- overridden fast-path components -------------------------------------
+    def _emit_prologue(self, em: Emitter) -> None:
+        self.isa.begin_call()
+        super()._emit_prologue(em)
+
+    def _emit_sampling_check(self, em: Emitter, size: int) -> bool:
+        """Sampling rides the PMU: no fast-path micro-ops at all."""
+        return self.pmu.count(size)
+
+    def _record_sample(self, em: Emitter, size: int) -> None:
+        self.pmu.service_interrupt(em, size, self.machine.clock)
+
+    def _emit_size_class_lookup(self, em: Emitter, size: int) -> LookupResult:
+        outcome = self.isa.mcszlookup(em, size)
+        if outcome.hit:
+            return LookupResult(
+                size_class=outcome.size_class,
+                alloc_size=outcome.alloc_size,
+                cls_uop=outcome.uop,
+                size_uop=outcome.uop,
+            )
+        # Fallback: the ordinary software computation, then teach the cache.
+        lookup = super()._emit_size_class_lookup(em, size)
+        self.isa.mcszupdate(
+            em, size, lookup.alloc_size, lookup.size_class, deps=(lookup.size_uop,)
+        )
+        return lookup
+
+    def _post_schedule(self, trace, result) -> None:
+        """Prefetch fills were applied at emission time; nothing to resolve.
+        The pending list is kept for introspection/tests and cleared here."""
+        self.isa.pending = []
+
+    # -- events ----------------------------------------------------------------
+    def context_switch(self) -> None:
+        """Flush the malloc cache: safe at any time because it holds copies
+        only (Section 4.1)."""
+        self.isa.cache.flush()
+
+
+class MallaccTCMalloc(MallaccFastPathMixin, TCMalloc):
+    """TCMalloc running on a Mallacc-equipped core."""
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        config: AllocatorConfig | None = None,
+        cache_config: MallocCacheConfig | None = None,
+        ablations=None,
+    ) -> None:
+        super().__init__(machine=machine, config=config, ablations=ablations)
+        self._attach_mallacc(cache_config)

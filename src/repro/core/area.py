@@ -1,0 +1,122 @@
+"""Silicon area model for Mallacc (Section 6.4).
+
+Reproduces the paper's bit-level accounting and area arithmetic:
+
+* 152 bits of storage per malloc-cache entry;
+* three CAM arrays (index ranges: 24 b/entry, size class: 8 b/entry,
+  LRU: log2(n) b/entry) plus one SRAM array (two 48-bit pointers, a 20-bit
+  allocated size, a valid bit = 117 b/entry);
+* at 16 entries: 72-byte CAM + 234-byte SRAM;
+* CACTI-style area at 28 nm: 873 μm² (CAMs) + 346 μm² (SRAM) + 265 μm²
+  (shifters/adders for the index computation) ≈ 1484 μm² total;
+* Haswell core = 26.5 mm² → Mallacc ≈ 0.006% of core area, and the measured
+  0.43% mean speedup beats Pollack's-rule expectation (sqrt of the area
+  increase) by >140×.
+
+We back-solve per-bit area densities from the paper's published numbers so
+the model extrapolates sensibly to other entry counts, instead of pretending
+to re-run CACTI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Paper-published reference points (16 entries, 28 nm).
+_REF_ENTRIES = 16
+_REF_CAM_AREA_UM2 = 873.0
+_REF_SRAM_AREA_UM2 = 346.0
+_INDEX_LOGIC_AREA_UM2 = 265.0
+HASWELL_CORE_AREA_MM2 = 26.5
+
+# Bit widths (Section 6.4).
+INDEX_CAM_BITS_PER_ENTRY = 24  # two 12-bit class indices
+CLASS_CAM_BITS_PER_ENTRY = 8
+POINTER_BITS = 48  # x86 uses the lower 48 bits of 64-bit addresses
+ALLOC_SIZE_BITS = 20
+VALID_BITS = 1
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area of one malloc-cache configuration."""
+
+    num_entries: int
+    cam_bits: int
+    sram_bits: int
+    cam_area_um2: float
+    sram_area_um2: float
+    logic_area_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        return self.cam_area_um2 + self.sram_area_um2 + self.logic_area_um2
+
+    @property
+    def fraction_of_haswell_core(self) -> float:
+        return self.total_um2 / (HASWELL_CORE_AREA_MM2 * 1e6)
+
+
+class AreaModel:
+    """Bit counts and area estimates for arbitrary entry counts."""
+
+    @staticmethod
+    def lru_bits_per_entry(num_entries: int) -> int:
+        return max(1, math.ceil(math.log2(num_entries)))
+
+    @classmethod
+    def bits_per_entry(cls, num_entries: int = _REF_ENTRIES) -> int:
+        """Total storage bits per entry.
+
+        At 16 entries this sums to 153 (24 index + 8 class + 4 LRU + 117
+        data); the paper quotes "152 bits" for the same inventory -- a
+        one-bit accounting difference we preserve rather than fudge."""
+        return (
+            INDEX_CAM_BITS_PER_ENTRY
+            + CLASS_CAM_BITS_PER_ENTRY
+            + cls.lru_bits_per_entry(num_entries)
+            + cls.sram_bits_per_entry()
+        )
+
+    @staticmethod
+    def sram_bits_per_entry() -> int:
+        """Data bits: two pointers + allocated size + valid = 117."""
+        return 2 * POINTER_BITS + ALLOC_SIZE_BITS + VALID_BITS
+
+    @classmethod
+    def cam_bits_per_entry(cls, num_entries: int) -> int:
+        return (
+            INDEX_CAM_BITS_PER_ENTRY
+            + CLASS_CAM_BITS_PER_ENTRY
+            + cls.lru_bits_per_entry(num_entries)
+        )
+
+    @classmethod
+    def breakdown(cls, num_entries: int = _REF_ENTRIES) -> AreaBreakdown:
+        """Area for ``num_entries``, scaling the published densities."""
+        cam_bits = cls.cam_bits_per_entry(num_entries) * num_entries
+        sram_bits = cls.sram_bits_per_entry() * num_entries
+        ref_cam_bits = cls.cam_bits_per_entry(_REF_ENTRIES) * _REF_ENTRIES
+        ref_sram_bits = cls.sram_bits_per_entry() * _REF_ENTRIES
+        return AreaBreakdown(
+            num_entries=num_entries,
+            cam_bits=cam_bits,
+            sram_bits=sram_bits,
+            cam_area_um2=_REF_CAM_AREA_UM2 * cam_bits / ref_cam_bits,
+            sram_area_um2=_REF_SRAM_AREA_UM2 * sram_bits / ref_sram_bits,
+            logic_area_um2=_INDEX_LOGIC_AREA_UM2,
+        )
+
+    @staticmethod
+    def pollack_expected_speedup(area_fraction: float) -> float:
+        """Pollack's rule: performance ∝ sqrt(complexity).  For a small area
+        increase a, expected speedup ≈ sqrt(1+a) - 1 ≈ a/2."""
+        return math.sqrt(1.0 + area_fraction) - 1.0
+
+    @classmethod
+    def pollack_advantage(cls, measured_speedup: float, num_entries: int = _REF_ENTRIES) -> float:
+        """How many times the measured speedup beats the Pollack expectation
+        (the paper reports >140× for 0.43% mean program speedup)."""
+        frac = cls.breakdown(num_entries).fraction_of_haswell_core
+        return measured_speedup / cls.pollack_expected_speedup(frac)

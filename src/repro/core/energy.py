@@ -1,0 +1,137 @@
+"""Energy model: what Mallacc does to the energy of a malloc call.
+
+The paper's cost argument is area (Section 6.4); datacenter accelerators are
+equally judged on energy, and the same McPAT/CACTI literature the paper
+cites supplies per-event energies.  This model prices each scheduled
+micro-op with standard 28 nm figures:
+
+* integer ALU op / branch: ~0.5 pJ
+* L1 hit: ~10 pJ;  L2: ~25 pJ;  L3: ~100 pJ;  DRAM access: ~1 nJ
+* store (L1 write-allocate): ~12 pJ
+* malloc-cache CAM search: entries × match-line energy (~5 fJ/bit, a
+  conservative TCAM figure) — a ~580-bit search at 16 entries costs a few
+  pJ, well under an L1 hit, which is the
+  whole trade: Mallacc swaps two L1 (or worse) loads for one tiny CAM probe.
+
+Absolute joules are indicative; the *ratio* between baseline and Mallacc
+calls is the result (see ``benchmarks/bench_energy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.malloc_cache import MallocCacheConfig
+from repro.core.area import AreaModel
+from repro.sim.uop import Trace, UopKind
+
+# Per-event energies in picojoules (28 nm, CACTI/McPAT-order figures).
+ALU_PJ = 0.5
+BRANCH_PJ = 0.5
+L1_HIT_PJ = 10.0
+L2_HIT_PJ = 25.0
+L3_HIT_PJ = 100.0
+DRAM_PJ = 1000.0
+STORE_PJ = 12.0
+CAM_SEARCH_PJ_PER_BIT = 0.005
+FIXED_BLOCK_PJ_PER_CYCLE = 2.0
+"""Locks/syscalls etc.: charge by their modeled latency (core active power)."""
+
+
+def _load_energy(latency: int) -> float:
+    """Map a load's charged latency back to the level that served it."""
+    if latency < 12:
+        return L1_HIT_PJ
+    if latency < 34:
+        return L2_HIT_PJ
+    if latency < 200:
+        return L3_HIT_PJ
+    return DRAM_PJ
+
+
+def cam_search_energy(config: MallocCacheConfig) -> float:
+    """One associative probe of the malloc cache."""
+    bits = AreaModel.cam_bits_per_entry(config.num_entries) * config.num_entries
+    return bits * CAM_SEARCH_PJ_PER_BIT
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one call, by micro-op class (picojoules)."""
+
+    compute_pj: float
+    load_pj: float
+    store_pj: float
+    mallacc_pj: float
+    fixed_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.compute_pj
+            + self.load_pj
+            + self.store_pj
+            + self.mallacc_pj
+            + self.fixed_pj
+        )
+
+
+def trace_energy(trace: Trace, cache_config: MallocCacheConfig | None = None) -> EnergyBreakdown:
+    """Price every micro-op in a call's trace."""
+    cache_config = cache_config or MallocCacheConfig()
+    compute = load = store = mallacc = fixed = 0.0
+    cam = cam_search_energy(cache_config)
+    for uop in trace:
+        if uop.kind is UopKind.ALU:
+            compute += ALU_PJ
+        elif uop.kind is UopKind.BRANCH:
+            compute += BRANCH_PJ
+        elif uop.kind is UopKind.LOAD:
+            load += _load_energy(uop.latency)
+        elif uop.kind is UopKind.PREFETCH:
+            load += L1_HIT_PJ  # the fill itself is priced as the line move
+        elif uop.kind is UopKind.STORE:
+            store += STORE_PJ
+        elif uop.kind is UopKind.MALLACC:
+            mallacc += cam
+        elif uop.kind is UopKind.FIXED:
+            fixed += uop.latency * FIXED_BLOCK_PJ_PER_CYCLE
+    return EnergyBreakdown(
+        compute_pj=compute,
+        load_pj=load,
+        store_pj=store,
+        mallacc_pj=mallacc,
+        fixed_pj=fixed,
+    )
+
+
+class EnergyMeter:
+    """Attach to an allocator to accumulate per-call energy.
+
+    Wraps the machine's timing model so every scheduled trace is priced;
+    read ``total_pj``/``calls`` afterwards.
+    """
+
+    def __init__(self, allocator, cache_config: MallocCacheConfig | None = None) -> None:
+        self.allocator = allocator
+        if cache_config is None:
+            isa = getattr(allocator, "isa", None)
+            cache_config = isa.cache.config if isa is not None else MallocCacheConfig()
+        self.cache_config = cache_config
+        self.total_pj = 0.0
+        self.calls = 0
+        self._original = allocator.machine.timing.run
+        allocator.machine.timing.run = self._spy
+
+    def _spy(self, trace):
+        result = self._original(trace)
+        self.total_pj += trace_energy(trace, self.cache_config).total_pj
+        self.calls += 1
+        return result
+
+    def detach(self) -> None:
+        self.allocator.machine.timing.run = self._original
+
+    @property
+    def mean_pj_per_call(self) -> float:
+        return self.total_pj / self.calls if self.calls else 0.0

@@ -1,0 +1,141 @@
+"""The five Mallacc instructions as an ISA layer over the malloc cache.
+
+This module couples the functional :class:`~repro.core.malloc_cache.MallocCache`
+to the timing model: each instruction emits a ``MALLACC`` micro-op with the
+configured latency, threads register dependences the way the assembly of
+Figures 10 and 12 does, and models the implicit ordering among the three
+linked-list instructions ("an implicit read-write register dependency through
+an architecturally-invisible register", Section 4.1).
+
+Timing notes:
+
+* ``mcszlookup`` costs the associative-search latency (+1 cycle when ranges
+  are keyed on class indices, for the dedicated index-compute hardware);
+* ``mchdpop``/``mchdpush`` cost one cycle, plus any blocking stall while the
+  entry has an outstanding prefetch;
+* ``mcnxtprefetch`` commits immediately (senior-store-queue style) and its
+  line fetch completes asynchronously in the cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.context import Emitter
+from repro.core.malloc_cache import MallocCache, MallocCacheConfig
+from repro.sim.memory import NULL
+
+
+@dataclass
+class SzLookupOutcome:
+    hit: bool
+    size_class: int
+    alloc_size: int
+    uop: int
+    """The uop producing the size class / ZF (consumers depend on it)."""
+
+
+@dataclass
+class HdPopOutcome:
+    hit: bool
+    head: int
+    next_ptr: int
+    uop: int
+    stall: int
+
+
+@dataclass
+class PendingPrefetch:
+    """A prefetch issued this call, awaiting its arrival-time resolution."""
+
+    size_class: int
+    head_addr: int
+    head_next: int
+    uop: int
+    mem_latency: int
+
+
+@dataclass
+class MallaccISA:
+    """Executes Mallacc instructions against one malloc cache instance."""
+
+    cache: MallocCache = field(default_factory=lambda: MallocCache(MallocCacheConfig()))
+    pending: list[PendingPrefetch] = field(default_factory=list)
+    _order_uop: int | None = field(default=None, init=False)
+    """Last linked-list instruction's uop: the architecturally-invisible
+    ordering register the three list instructions serialize through."""
+
+    def begin_call(self) -> None:
+        """Reset per-call state (the ordering register spans one call's
+        trace; cross-call ordering is implied by the global clock)."""
+        self._order_uop = None
+        self.pending = []
+
+    def _ordered(self, deps: tuple[int, ...]) -> tuple[int, ...]:
+        if self._order_uop is not None:
+            return tuple(dict.fromkeys(deps + (self._order_uop,)))
+        return deps
+
+    # -- size-class instructions (Figure 9/10) -------------------------------
+    def mcszlookup(self, em: Emitter, size: int, deps: tuple[int, ...] = ()) -> SzLookupOutcome:
+        entry = self.cache.szlookup(size)
+        uop = em.mallacc(self.cache.config.lookup_latency, deps=deps)
+        em.branch("mcsz_hit", taken=entry is None, deps=(uop,))
+        if entry is None:
+            return SzLookupOutcome(hit=False, size_class=0, alloc_size=0, uop=uop)
+        return SzLookupOutcome(
+            hit=True, size_class=entry.size_class, alloc_size=entry.alloc_size, uop=uop
+        )
+
+    def mcszupdate(self, em: Emitter, size: int, alloc_size: int, size_class: int, deps: tuple[int, ...] = ()) -> int:
+        self.cache.szupdate(size, alloc_size, size_class)
+        return em.mallacc(1, deps=deps)
+
+    # -- linked-list instructions (Figure 11/12) ------------------------------
+    def mchdpop(self, em: Emitter, size_class: int, deps: tuple[int, ...] = ()) -> HdPopOutcome:
+        entry, head, nxt, stall = self.cache.hdpop(size_class, em.machine.clock)
+        latency = self.cache.config.list_op_latency + stall
+        uop = em.mallacc(latency, deps=self._ordered(deps))
+        self._order_uop = uop
+        em.branch("mchd_hit", taken=entry is None, deps=(uop,))
+        return HdPopOutcome(hit=entry is not None, head=head, next_ptr=nxt, uop=uop, stall=stall)
+
+    def mchdpush(self, em: Emitter, size_class: int, new_head: int, deps: tuple[int, ...] = ()) -> tuple[bool, int, int]:
+        """Returns ``(hit, old_head, uop)``."""
+        hit, old_head, stall = self.cache.hdpush(size_class, new_head, em.machine.clock)
+        latency = self.cache.config.list_op_latency + stall
+        uop = em.mallacc(latency, deps=self._ordered(deps))
+        self._order_uop = uop
+        return hit, old_head, uop
+
+    def mcnxtprefetch(self, em: Emitter, size_class: int, head_addr: int, deps: tuple[int, ...] = ()) -> int | None:
+        """Issue the asynchronous head-line prefetch; returns its uop index
+        (None when there is nothing to prefetch).
+
+        The cache fill is applied *immediately* in program order — a later
+        push or pop in the same call must observe it, exactly as the
+        returning line would be merged before a younger list instruction is
+        allowed to proceed (entries with an outstanding prefetch block).
+        The arrival cycle is estimated from the trace position (issue slots
+        consumed so far / issue width) plus the memory latency the line
+        fetch was charged.
+        """
+        if head_addr == NULL:
+            return None
+        head_next = em.machine.memory.read_word(head_addr)
+        uop, mem_latency = em.prefetch_line(head_addr)
+        self._order_uop = uop
+        issue_estimate = uop // em.machine.timing.config.issue_width
+        ready_at = em.machine.clock + issue_estimate + mem_latency
+        filled = self.cache.nxtprefetch(size_class, head_addr, head_next, ready_at)
+        self.pending.append(
+            PendingPrefetch(
+                size_class=size_class,
+                head_addr=head_addr,
+                head_next=head_next,
+                uop=uop,
+                mem_latency=mem_latency,
+            )
+        )
+        del filled
+        return uop

@@ -1,0 +1,33 @@
+"""Experiment harness: runs workloads, aggregates, and renders the paper's
+tables and figures.
+
+* :mod:`repro.harness.runner` — replay an op stream on an allocator;
+* :mod:`repro.harness.metrics` — time-in-calls distributions (Figures 1, 2,
+  15, 16), size-class CDFs (Figure 6), component breakdowns (Figure 4);
+* :mod:`repro.harness.experiments` — baseline vs Mallacc vs limit-study
+  comparisons (Figures 13, 14, 18);
+* :mod:`repro.harness.sweeps` — malloc-cache size sensitivity (Figure 17);
+* :mod:`repro.harness.validation` — simulator-vs-analytic-model error
+  (Table 1);
+* :mod:`repro.harness.stats` — full-program speedup with Student's t
+  significance (Table 2);
+* :mod:`repro.harness.figures` — plain-text rendering of all of the above.
+"""
+
+from repro.harness.experiments import WorkloadComparison, compare_workload
+from repro.harness.metrics import (
+    duration_histogram,
+    size_class_cdf,
+    time_weighted_cdf,
+)
+from repro.harness.runner import RunResult, run_workload
+
+__all__ = [
+    "RunResult",
+    "WorkloadComparison",
+    "compare_workload",
+    "duration_histogram",
+    "run_workload",
+    "size_class_cdf",
+    "time_weighted_cdf",
+]

@@ -1,0 +1,67 @@
+"""Fast-path component breakdown (Figure 4).
+
+The paper estimates the cost of each fast-path step by removing its
+instructions from simulated execution and subtracting from the baseline:
+"These are estimates, and not strictly additive, since out-of-order cores
+explicitly overlap work."  We do the same per call via uop-tag ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.allocator import TCMalloc
+from repro.harness.runner import run_workload
+from repro.sim.uop import LIMIT_STUDY_TAGS, Tag
+from repro.workloads.base import Workload
+
+COMPONENT_ABLATIONS: dict[str, frozenset[Tag]] = {
+    "sampling": frozenset({Tag.SAMPLING}),
+    "size_class": frozenset({Tag.SIZE_CLASS}),
+    "push_pop": frozenset({Tag.PUSH_POP}),
+    "combined": LIMIT_STUDY_TAGS,
+}
+
+
+@dataclass
+class FastPathBreakdown:
+    """Mean fast-path cycles for one workload, whole and per component."""
+
+    workload: str
+    baseline_cycles: float
+    component_cycles: dict[str, float] = field(default_factory=dict)
+    """Mean fast-path cycles with the named component removed."""
+
+    def component_cost(self, name: str) -> float:
+        """Estimated cycles attributable to a component (baseline minus
+        ablated — the Figure 4 bar segments)."""
+        return self.baseline_cycles - self.component_cycles[name]
+
+    @property
+    def combined_fraction(self) -> float:
+        """Fraction of fast-path cycles the three components account for
+        together (the paper: ≈50%)."""
+        if not self.baseline_cycles:
+            return 0.0
+        return self.component_cost("combined") / self.baseline_cycles
+
+
+def fastpath_breakdown(
+    workload: Workload, num_ops: int = 2000, seed: int = 1
+) -> FastPathBreakdown:
+    """Run the workload once, scheduling every call under each ablation."""
+    allocator = TCMalloc(ablations=COMPONENT_ABLATIONS)
+    result = run_workload(allocator, workload.ops(seed=seed, num_ops=num_ops))
+    fast = [r for r in result.records if r.is_fast_path]
+    if not fast:
+        raise ValueError(f"{workload.name} produced no fast-path calls")
+    baseline = sum(r.cycles for r in fast) / len(fast)
+    components = {
+        name: sum(r.ablated[name] for r in fast) / len(fast)
+        for name in COMPONENT_ABLATIONS
+    }
+    return FastPathBreakdown(
+        workload=workload.name,
+        baseline_cycles=baseline,
+        component_cycles=components,
+    )

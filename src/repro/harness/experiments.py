@@ -1,0 +1,137 @@
+"""Baseline vs Mallacc vs limit-study comparisons (Figures 13, 14, 18).
+
+``compare_workload`` replays one op stream three ways:
+
+* **baseline** — stock TCMalloc, with the limit-study ablation scheduled
+  per call (the paper's optimistic upper bound: size-class, sampling and
+  push/pop instructions "simply ignored by performance simulation");
+* **Mallacc** — :class:`~repro.core.accel_allocator.MallaccTCMalloc` with a
+  malloc cache of the requested size (the paper's headline uses 32 entries).
+
+Both runs see the identical op sequence on identically configured fresh
+machines, so the only difference is the accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.allocator import TCMalloc
+from repro.alloc.constants import AllocatorConfig
+from repro.core.accel_allocator import MallaccTCMalloc
+from repro.core.malloc_cache import MallocCacheConfig
+from repro.harness.runner import RunResult, run_workload
+from repro.sim.uop import LIMIT_STUDY_TAGS
+from repro.workloads.base import Workload
+
+LIMIT_ABLATION = "limit"
+
+
+def _pct_improvement(base: int, new: int) -> float:
+    return 100.0 * (base - new) / base if base else 0.0
+
+
+@dataclass
+class WorkloadComparison:
+    """Results of one workload under baseline and Mallacc."""
+
+    workload: str
+    baseline: RunResult
+    mallacc: RunResult
+    paper: dict[str, float] = field(default_factory=dict)
+
+    # -- Figure 13: allocator (malloc+free) time improvement -----------------
+    @property
+    def allocator_improvement(self) -> float:
+        return _pct_improvement(
+            self.baseline.allocator_cycles, self.mallacc.allocator_cycles
+        )
+
+    @property
+    def allocator_limit_improvement(self) -> float:
+        return _pct_improvement(
+            self.baseline.allocator_cycles,
+            self.baseline.ablated_allocator_cycles(LIMIT_ABLATION),
+        )
+
+    # -- Figure 14: malloc()-only improvement ----------------------------------
+    @property
+    def malloc_improvement(self) -> float:
+        return _pct_improvement(self.baseline.malloc_cycles, self.mallacc.malloc_cycles)
+
+    @property
+    def malloc_limit_improvement(self) -> float:
+        return _pct_improvement(
+            self.baseline.malloc_cycles,
+            self.baseline.ablated_malloc_cycles(LIMIT_ABLATION),
+        )
+
+    # -- Figure 18 / Table 2 ---------------------------------------------------
+    @property
+    def allocator_fraction(self) -> float:
+        """Fraction of baseline program time spent in the allocator."""
+        return self.baseline.allocator_fraction
+
+    @property
+    def program_speedup(self) -> float:
+        """Full-program speedup in % (non-allocator time unchanged)."""
+        base_total = self.baseline.total_cycles
+        accel_total = self.mallacc.allocator_cycles + self.baseline.app_cycles
+        return _pct_improvement(base_total, accel_total)
+
+
+def make_baseline(config: AllocatorConfig | None = None) -> TCMalloc:
+    """A stock TCMalloc wired for the limit-study ablation."""
+    return TCMalloc(config=config, ablations={LIMIT_ABLATION: LIMIT_STUDY_TAGS})
+
+
+def make_mallacc(
+    cache_entries: int = 32,
+    config: AllocatorConfig | None = None,
+    cache_config: MallocCacheConfig | None = None,
+) -> MallaccTCMalloc:
+    cache_config = cache_config or MallocCacheConfig(num_entries=cache_entries)
+    return MallaccTCMalloc(config=config, cache_config=cache_config)
+
+
+def compare_workload(
+    workload: Workload,
+    num_ops: int | None = None,
+    seed: int = 1,
+    cache_entries: int = 32,
+    config: AllocatorConfig | None = None,
+    cache_config: MallocCacheConfig | None = None,
+    model_app_traffic: bool = True,
+) -> WorkloadComparison:
+    """Run one workload under baseline and Mallacc and compare."""
+    ops = list(workload.ops(seed=seed, num_ops=num_ops))
+
+    baseline_alloc = make_baseline(config=config)
+    baseline = run_workload(
+        baseline_alloc, ops, name=workload.name, model_app_traffic=model_app_traffic
+    )
+
+    mallacc_alloc = make_mallacc(
+        cache_entries=cache_entries, config=config, cache_config=cache_config
+    )
+    mallacc = run_workload(
+        mallacc_alloc, ops, name=workload.name, model_app_traffic=model_app_traffic
+    )
+
+    return WorkloadComparison(
+        workload=workload.name,
+        baseline=baseline,
+        mallacc=mallacc,
+        paper=dict(workload.paper),
+    )
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean of improvement percentages (as the paper reports),
+    computed on the speedup ratios to tolerate near-zero entries."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= max(1e-9, 1.0 - v / 100.0)
+    return 100.0 * (1.0 - product ** (1.0 / len(values)))

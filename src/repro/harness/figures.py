@@ -1,0 +1,66 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Every renderer returns a string; benchmark targets print these so the
+regenerated rows/series can be compared directly against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.harness.metrics import Histogram
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """A simple aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram(hist: Histogram, title: str = "", width: int = 50) -> str:
+    """ASCII bar chart of a time-in-calls histogram (Figures 1, 15, 16)."""
+    lines = [title] if title else []
+    peak = max(hist.weights) if hist.weights else 1.0
+    for i, w in enumerate(hist.weights):
+        if w < 0.05:
+            continue
+        lo = hist.bin_edges[i]
+        bar = "#" * max(1, int(width * w / peak)) if peak else ""
+        lines.append(f"{lo:>10.0f} cy | {bar} {w:.1f}%")
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: list[str], values: list[float], title: str = "", unit: str = "%", width: int = 40
+) -> str:
+    """Horizontal bars (Figures 13, 14, 18)."""
+    lines = [title] if title else []
+    peak = max((abs(v) for v in values), default=1.0) or 1.0
+    label_w = max(len(l) for l in labels) if labels else 0
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(width * abs(value) / peak))
+        sign = "-" if value < 0 else ""
+        lines.append(f"{label.rjust(label_w)} | {bar} {sign}{abs(value):.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_series(
+    x: list[int] | tuple[int, ...],
+    series: dict[str, list[float]],
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """A small numeric table of curves (Figure 17's sweep)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([str(xv)] + [f"{series[k][i]:.1f}" for k in series])
+    return render_table(headers, rows, title=title)

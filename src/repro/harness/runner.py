@@ -1,0 +1,178 @@
+"""Replay an op stream on an allocator and collect per-call records.
+
+The runner owns the slot→pointer table, advances the machine clock through
+application gaps, models application cache traffic by streaming through a
+dedicated memory region, and executes the antagonist's eviction callback.
+Warmup ops run fully (they train caches, predictors, and pool heuristics)
+but are excluded from the measured statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.alloc.allocator import CallRecord, TCMalloc
+from repro.workloads.base import Op, OpKind
+
+_APP_REGION_BASE = 0x0000_7000_0000_0000
+_APP_REGION_BYTES = 2 * 1024 * 1024
+"""Application streaming region: fits in L3, thrashes L1/L2."""
+
+
+@dataclass
+class RunResult:
+    """Everything measured while replaying one workload."""
+
+    workload: str
+    records: list[CallRecord] = field(default_factory=list)
+    app_cycles: int = 0
+    warmup_calls: int = 0
+    warmup_cycles: int = 0
+
+    # -- aggregate cycle counts -------------------------------------------
+    @property
+    def allocator_cycles(self) -> int:
+        return sum(r.cycles for r in self.records)
+
+    @property
+    def malloc_cycles(self) -> int:
+        return sum(r.cycles for r in self.records if r.is_malloc)
+
+    @property
+    def free_cycles(self) -> int:
+        return sum(r.cycles for r in self.records if not r.is_malloc)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.allocator_cycles + self.app_cycles
+
+    @property
+    def allocator_fraction(self) -> float:
+        total = self.total_cycles
+        return self.allocator_cycles / total if total else 0.0
+
+    def ablated_allocator_cycles(self, name: str) -> int:
+        """Allocator cycles with the named uop ablation applied per call."""
+        return sum(r.ablated.get(name, r.cycles) for r in self.records)
+
+    def ablated_malloc_cycles(self, name: str) -> int:
+        return sum(r.ablated.get(name, r.cycles) for r in self.records if r.is_malloc)
+
+    # -- path statistics ------------------------------------------------------
+    def path_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.path.value] = counts.get(r.path.value, 0) + 1
+        return counts
+
+    def fast_path_time_fraction(self, threshold: int = 100) -> float:
+        """Fraction of allocator time spent in calls shorter than
+        ``threshold`` cycles (the Figure 2 metric)."""
+        total = self.allocator_cycles
+        if not total:
+            return 0.0
+        fast = sum(r.cycles for r in self.records if r.cycles < threshold)
+        return fast / total
+
+
+def run_workload(
+    allocator: TCMalloc,
+    ops: Iterable[Op],
+    name: str = "",
+    model_app_traffic: bool = True,
+) -> RunResult:
+    """Replay ``ops`` on ``allocator`` and return the measured results.
+
+    The allocator's own record list is disabled; records are captured from
+    each call's return value so warmup can be separated cleanly.
+    """
+    allocator.keep_records = False
+    machine = allocator.machine
+    result = RunResult(workload=name)
+    slots: dict[int, int] = {}
+    app_offset = 0
+
+    for op in ops:
+        if op.kind is OpKind.ANTAGONIZE:
+            machine.hierarchy.antagonize()
+            continue
+
+        if op.gap_cycles:
+            machine.advance(op.gap_cycles)
+            if not op.warmup:
+                result.app_cycles += op.gap_cycles
+        if op.app_lines and model_app_traffic:
+            machine.hierarchy.touch_lines(
+                _APP_REGION_BASE + app_offset, op.app_lines
+            )
+            app_offset = (app_offset + op.app_lines * 64) % _APP_REGION_BYTES
+
+        if op.kind is OpKind.MALLOC:
+            ptr, record = allocator.malloc(op.size)
+            if op.slot in slots:
+                raise ValueError(f"workload reused live slot {op.slot}")
+            slots[op.slot] = ptr
+        elif op.kind is OpKind.FREE:
+            record = allocator.free(slots.pop(op.slot))
+        elif op.kind is OpKind.FREE_SIZED:
+            record = allocator.sized_free(slots.pop(op.slot), op.size)
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise ValueError(f"unknown op kind {op.kind}")
+
+        if op.warmup:
+            result.warmup_calls += 1
+            result.warmup_cycles += record.cycles
+        else:
+            result.records.append(record)
+
+    return result
+
+
+@dataclass
+class MultiThreadRunResult:
+    """Aggregate of a multithreaded replay."""
+
+    workload: str
+    records: list[CallRecord] = field(default_factory=list)
+    per_thread_cycles: dict[int, int] = field(default_factory=dict)
+    contention_cycles: int = 0
+    coherence_transfers: int = 0
+
+    @property
+    def allocator_cycles(self) -> int:
+        return sum(r.cycles for r in self.records)
+
+
+def run_multithreaded(mt_allocator, ops, name: str = "") -> MultiThreadRunResult:
+    """Replay a tid-tagged op stream on a
+    :class:`repro.alloc.multithread.MultiThreadAllocator`."""
+    from repro.workloads.base import OpKind as _OpKind
+
+    result = MultiThreadRunResult(workload=name)
+    slots: dict[int, int] = {}
+    for op in ops:
+        if op.kind is _OpKind.ANTAGONIZE:
+            mt_allocator.machine.hierarchy.antagonize()
+            continue
+        if op.gap_cycles:
+            mt_allocator.machine.advance(op.gap_cycles)
+        if op.kind is _OpKind.MALLOC:
+            ptr, record = mt_allocator.malloc(op.tid, op.size)
+            slots[op.slot] = ptr
+        elif op.kind is _OpKind.FREE:
+            record = mt_allocator.free(op.tid, slots.pop(op.slot))
+        elif op.kind is _OpKind.FREE_SIZED:
+            record = mt_allocator.sized_free(op.tid, slots.pop(op.slot), op.size)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"unknown op kind {op.kind}")
+        if not op.warmup:
+            result.records.append(record)
+            result.per_thread_cycles[op.tid] = (
+                result.per_thread_cycles.get(op.tid, 0) + record.cycles
+            )
+    result.contention_cycles = mt_allocator.contention_cycles()
+    stats = mt_allocator.coherence_stats()
+    if stats is not None:
+        result.coherence_transfers = stats.remote_transfers
+    return result

@@ -1,0 +1,106 @@
+"""Full-program speedup with statistical significance (Table 2).
+
+The paper runs each workload several times, computes full-program speedup,
+and reports only workloads where a single-sided Student's t-test rejects the
+slowdown hypothesis with ≥95% confidence.  We reproduce the protocol with
+seed-randomized trials: each trial regenerates the workload stream with a
+different seed and runs baseline and Mallacc on it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from scipy import stats as scipy_stats
+
+from repro.harness.experiments import compare_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SpeedupTrials:
+    """Per-workload trial results and the t-test verdict."""
+
+    workload: str
+    speedups: list[float] = field(default_factory=list)
+    """Full-program speedups in % (one per trial)."""
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups) / len(self.speedups) if self.speedups else 0.0
+
+    @property
+    def stddev(self) -> float:
+        n = len(self.speedups)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.speedups) / (n - 1))
+
+    @property
+    def p_value(self) -> float:
+        """One-sided p-value for H0: speedup <= 0 (smaller = stronger
+        evidence of genuine speedup)."""
+        if len(self.speedups) < 2:
+            return 1.0
+        if self.stddev == 0.0:
+            return 0.0 if self.mean > 0 else 1.0
+        t_stat, p_two = scipy_stats.ttest_1samp(self.speedups, 0.0)
+        if t_stat <= 0:
+            return 1.0
+        return p_two / 2.0
+
+    @property
+    def significant(self) -> bool:
+        """True when a slowdown is rejected with 95+% probability — the
+        paper's inclusion criterion for Table 2."""
+        return self.p_value < 0.05
+
+
+def bootstrap_ci(
+    values: list[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Used alongside the t-test to report interval estimates for the
+    improvement percentages (the t-test answers "is it real?", the CI
+    answers "how big?").
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    n = len(values)
+    means = sorted(
+        sum(rng.choice(values) for _ in range(n)) / n for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo = means[int(alpha * resamples)]
+    hi = means[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return (lo, hi)
+
+
+def program_speedup_trials(
+    workload: Workload,
+    trials: int = 5,
+    num_ops: int | None = None,
+    cache_entries: int = 32,
+    base_seed: int = 100,
+) -> SpeedupTrials:
+    """Run ``trials`` seed-randomized experiments and collect speedups."""
+    result = SpeedupTrials(workload=workload.name)
+    for t in range(trials):
+        comparison = compare_workload(
+            workload,
+            num_ops=num_ops,
+            seed=base_seed + 17 * t,
+            cache_entries=cache_entries,
+        )
+        result.speedups.append(comparison.program_speedup)
+    return result

@@ -1,0 +1,74 @@
+"""Malloc-cache size sensitivity (Figure 17).
+
+The paper sweeps cache sizes from 2 to 32 entries on the microbenchmark
+suite and observes: small caches *hurt* (fallback path plus the wasted
+lookup), speedup jumps sharply once the cache covers a strided benchmark's
+class count, Gaussian benchmarks climb gradually (size-class locality), and
+``tp`` can *lose* performance to prefetch blocking in tight loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.malloc_cache import MallocCacheConfig
+from repro.harness.experiments import compare_workload
+from repro.workloads.base import Workload
+
+DEFAULT_SIZES = (2, 4, 6, 8, 12, 16, 20, 24, 28, 32)
+
+
+@dataclass
+class SweepResult:
+    """Speedup-vs-entries curve for one workload."""
+
+    workload: str
+    sizes: tuple[int, ...]
+    malloc_speedups: list[float] = field(default_factory=list)
+    """malloc() time improvement (%) per cache size."""
+    allocator_speedups: list[float] = field(default_factory=list)
+    limit_speedup: float = 0.0
+    """The ablation upper bound (the 'Limit' bar of Figure 17)."""
+
+    def inflection_size(self, threshold_frac: float = 0.5) -> int | None:
+        """The smallest cache size reaching ``threshold_frac`` of the best
+        measured speedup (the paper's 'speedup inflection points occur
+        precisely at those malloc cache sizes')."""
+        if not self.malloc_speedups:
+            return None
+        best = max(self.malloc_speedups)
+        if best <= 0:
+            return None
+        for size, speedup in zip(self.sizes, self.malloc_speedups):
+            if speedup >= threshold_frac * best:
+                return size
+        return None
+
+
+def sweep_cache_sizes(
+    workload: Workload,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    num_ops: int | None = None,
+    seed: int = 1,
+    cache_config_base: MallocCacheConfig | None = None,
+) -> SweepResult:
+    """Run one workload across malloc-cache sizes."""
+    base = cache_config_base or MallocCacheConfig()
+    result = SweepResult(workload=workload.name, sizes=tuple(sizes))
+    for size in sizes:
+        cfg = MallocCacheConfig(
+            num_entries=size,
+            index_keyed=base.index_keyed,
+            eviction=base.eviction,
+            cache_next=base.cache_next,
+            prefetch_blocking=base.prefetch_blocking,
+            base_lookup_latency=base.base_lookup_latency,
+            list_op_latency=base.list_op_latency,
+        )
+        comparison = compare_workload(
+            workload, num_ops=num_ops, seed=seed, cache_config=cfg
+        )
+        result.malloc_speedups.append(comparison.malloc_improvement)
+        result.allocator_speedups.append(comparison.allocator_improvement)
+        result.limit_speedup = comparison.malloc_limit_improvement
+    return result

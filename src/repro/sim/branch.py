@@ -1,0 +1,54 @@
+"""Branch prediction model.
+
+The malloc fast path "contains a few conditional branches that are easy to
+predict and no loops" (Section 3.3), so in steady state branches cost one
+cycle.  This module still models the warmup: a per-site two-bit saturating
+counter charges a mispredict penalty while a branch's bias is being learned,
+which matters for cold-start microbenchmark fidelity and gives failure-
+injection tests something real to exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BranchConfig:
+    mispredict_penalty: int = 14
+    """Pipeline refill cost on a Haswell-class core."""
+
+
+class BranchPredictor:
+    """Per-site two-bit saturating counters (0..3; taken if >= 2)."""
+
+    def __init__(self, config: BranchConfig | None = None) -> None:
+        self.config = config or BranchConfig()
+        self._counters: dict[str, int] = {}
+        self.predictions = 0
+        self.mispredicts = 0
+
+    def predict(self, site: str, taken: bool) -> int:
+        """Record the outcome of branch ``site``; returns the penalty in
+        cycles (0 if predicted correctly)."""
+        counter = self._counters.get(site, 2)
+        predicted_taken = counter >= 2
+        self.predictions += 1
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[site] = counter
+        if predicted_taken != taken:
+            self.mispredicts += 1
+            return self.config.mispredict_penalty
+        return 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.predictions if self.predictions else 0.0
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self.predictions = 0
+        self.mispredicts = 0

@@ -1,0 +1,126 @@
+"""Set-associative cache model with true LRU replacement.
+
+Each cache tracks which line addresses are resident per set and the LRU order
+within the set.  Timing is owned by :class:`repro.sim.hierarchy.CacheHierarchy`;
+this module is purely about hit/miss state and replacement.
+
+The ``evict_less_used_half`` operation implements the paper's *antagonist*
+microbenchmark hook: "after every allocation, invokes a simulator callback
+which evicts the less used half of each set of the L1 and L2 data caches"
+(Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_size: int = 64
+    latency: int = 4
+    """Total load-to-use latency in cycles for a hit at this level."""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_size):
+            raise ValueError(f"{self.name}: size must divide into sets evenly")
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_size)
+
+
+class SetAssociativeCache:
+    """One level of cache: per-set LRU lists of resident line addresses."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_size.bit_length() - 1
+        self._num_sets = config.num_sets
+        # Each set is a list of line numbers, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _set_of(self, line: int) -> int:
+        return line % self._num_sets
+
+    def lookup(self, addr: int, update_lru: bool = True) -> bool:
+        """Probe for ``addr``; returns True on hit and refreshes LRU."""
+        line = self._line_of(addr)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            self.hits += 1
+            if update_lru:
+                ways.remove(line)
+                ways.append(line)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating residence check (no LRU update, no stats)."""
+        line = self._line_of(addr)
+        return line in self._sets[self._set_of(line)]
+
+    def insert(self, addr: int) -> int | None:
+        """Fill the line holding ``addr``; returns the evicted line address
+        (first byte) if a victim was chosen, else None."""
+        line = self._line_of(addr)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return None
+        victim = None
+        if len(ways) >= self.config.assoc:
+            victim = ways.pop(0) << self._line_shift
+        ways.append(line)
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr`` if resident."""
+        line = self._line_of(addr)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            ways.remove(line)
+            return True
+        return False
+
+    def evict_less_used_half(self) -> int:
+        """Evict the LRU half of every set; returns lines evicted.
+
+        This is the antagonist callback from the paper's methodology: it
+        emulates an application striding through a large working set without
+        simulating the millions of instructions the stride would take.
+        """
+        evicted = 0
+        for ways in self._sets:
+            keep = len(ways) - len(ways) // 2
+            evicted += len(ways) - keep
+            del ways[: len(ways) - keep]
+        return evicted
+
+    def flush(self) -> None:
+        """Empty the cache (context-switch model)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,125 @@
+"""Simulated 64-bit memory and virtual address space.
+
+The allocator under test manages *simulated* addresses, not Python objects.
+Free-list ``next`` pointers live at the address of the free block itself (the
+TCMalloc space-saving trick described in Section 3.3 of the paper), so the
+functional state of every free list is stored here, word by word.
+
+:class:`VirtualAddressSpace` plays the role of the operating system's virtual
+memory interface: it hands out contiguous page runs (an ``sbrk``/``mmap``
+model) to the page heap and tracks what has been reserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+WORD_SIZE = 8
+"""Bytes per machine word; all pointer loads/stores are word-sized."""
+
+NULL = 0
+"""The simulated null pointer."""
+
+
+class MemoryError_(Exception):
+    """Raised on wild reads/writes in simulated memory (analog of a fault)."""
+
+
+class SimulatedMemory:
+    """A sparse 64-bit word-addressable memory.
+
+    Only words that were explicitly written exist; reading an unwritten word
+    returns zero, matching demand-zeroed pages.  Addresses must be word
+    aligned: the allocator always manipulates aligned pointers, so a
+    misaligned access indicates a bug in the allocator model and raises.
+    """
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def read_word(self, addr: int) -> int:
+        """Return the 64-bit word at ``addr`` (0 if never written)."""
+        self._check_aligned(addr)
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Store a 64-bit word at ``addr``."""
+        self._check_aligned(addr)
+        if value == 0:
+            # Keep the dict sparse: zero is the default.
+            self._words.pop(addr, None)
+        else:
+            self._words[addr] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def words_written(self) -> int:
+        """Number of non-zero words currently stored (for tests/stats)."""
+        return len(self._words)
+
+    @staticmethod
+    def _check_aligned(addr: int) -> None:
+        if addr <= 0 or addr % WORD_SIZE != 0:
+            raise MemoryError_(f"unaligned or null access at {addr:#x}")
+
+
+@dataclass
+class Reservation:
+    """A contiguous range of reserved address space."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+@dataclass
+class VirtualAddressSpace:
+    """An ``sbrk``-style growing address space for the page heap.
+
+    The heap base is deliberately far from the metadata region used for
+    allocator-internal structures (free-list headers, size-class tables) so
+    that cache sets are exercised realistically and so tests can tell the two
+    apart.
+    """
+
+    heap_base: int = 0x0000_2000_0000_0000
+    metadata_base: int = 0x0000_1000_0000_0000
+    page_size: int = 8192
+    _brk: int = field(default=0, init=False)
+    _metadata_brk: int = field(default=0, init=False)
+    reservations: list[Reservation] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self._brk = self.heap_base
+        self._metadata_brk = self.metadata_base
+
+    def reserve_pages(self, num_pages: int) -> Reservation:
+        """Reserve ``num_pages`` contiguous pages from the OS (sbrk model)."""
+        if num_pages <= 0:
+            raise ValueError("num_pages must be positive")
+        length = num_pages * self.page_size
+        reservation = Reservation(start=self._brk, length=length)
+        self._brk += length
+        self.reservations.append(reservation)
+        return reservation
+
+    def reserve_metadata(self, length: int, align: int = 64) -> int:
+        """Reserve allocator-metadata space (tables, free-list headers)."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if align & (align - 1):
+            raise ValueError("align must be a power of two")
+        self._metadata_brk = (self._metadata_brk + align - 1) & ~(align - 1)
+        start = self._metadata_brk
+        self._metadata_brk += length
+        return start
+
+    @property
+    def heap_bytes_reserved(self) -> int:
+        """Total bytes handed out to the page heap so far."""
+        return self._brk - self.heap_base
+
+    def owns_heap_address(self, addr: int) -> bool:
+        """True if ``addr`` lies in space reserved from the OS heap."""
+        return self.heap_base <= addr < self._brk

@@ -1,0 +1,171 @@
+"""Micro-op traces and the builder the allocator uses to emit them.
+
+Every allocator call (``malloc``/``free``) produces one :class:`Trace`: the
+sequence of micro-ops the equivalent compiled x86 code would execute, with
+explicit data dependences.  Ops carry a :class:`Tag` naming the fast-path
+component they belong to — this is what makes the paper's limit study
+(Section 5: "instructions comprising the three steps ... are simply ignored
+by performance simulation") a one-line operation: drop all ops with the
+tagged components and reschedule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class UopKind(enum.Enum):
+    """The micro-op classes the timing model distinguishes."""
+
+    ALU = "alu"  # single-cycle integer op
+    LOAD = "load"  # latency from the cache hierarchy
+    STORE = "store"  # buffered; off the critical path
+    BRANCH = "branch"  # predicted; single cycle unless mispredicted
+    MALLACC = "mallacc"  # one of the five new instructions
+    PREFETCH = "prefetch"  # commits immediately, data arrives later
+    FIXED = "fixed"  # modeled block (lock, syscall) with preset latency
+
+
+class Tag(enum.Enum):
+    """Fast-path component labels (Figure 3's colored boxes, plus bookkeeping).
+
+    ``SIZE_CLASS``, ``SAMPLING`` and ``PUSH_POP`` are the three components the
+    paper ablates in Figure 4; the rest cover "function call overhead,
+    addressing calculations, and updates to metadata fields" (Section 3.3)
+    and the slow paths.
+    """
+
+    SIZE_CLASS = "size_class"
+    SAMPLING = "sampling"
+    PUSH_POP = "push_pop"
+    CALL_OVERHEAD = "call_overhead"
+    ADDRESSING = "addressing"
+    METADATA = "metadata"
+    SLOW_PATH = "slow_path"
+    MALLACC = "mallacc"
+
+
+#: The three components removed together in the paper's limit study.
+LIMIT_STUDY_TAGS = frozenset({Tag.SIZE_CLASS, Tag.SAMPLING, Tag.PUSH_POP})
+
+
+@dataclass
+class Uop:
+    """One micro-op: kind, source dependences (trace indices), and timing
+    inputs resolved at emission time."""
+
+    kind: UopKind
+    deps: tuple[int, ...] = ()
+    addr: int | None = None
+    latency: int = 1
+    tag: Tag = Tag.ADDRESSING
+
+    def __post_init__(self) -> None:
+        if self.kind in (UopKind.LOAD, UopKind.STORE, UopKind.PREFETCH):
+            if self.addr is None:
+                raise ValueError(f"{self.kind} requires an address")
+
+
+@dataclass
+class Trace:
+    """An ordered list of micro-ops for one allocator call."""
+
+    uops: list[Uop] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __iter__(self):
+        return iter(self.uops)
+
+    def count(self, kind: UopKind) -> int:
+        return sum(1 for u in self.uops if u.kind is kind)
+
+    def tags_present(self) -> set[Tag]:
+        return {u.tag for u in self.uops}
+
+    def without_tags(self, tags: frozenset[Tag] | set[Tag]) -> "Trace":
+        """Return a copy with all ops carrying ``tags`` removed.
+
+        Dependences on removed ops are rewired transitively to the removed
+        op's own dependences, so surviving chains keep their ordering — this
+        mirrors deleting instructions from a compiled binary where the
+        registers they fed are rematerialized for free.
+        """
+        keep_index: dict[int, int] = {}
+        # For removed ops, the set of surviving ops they transitively depend on.
+        forwarded: dict[int, tuple[int, ...]] = {}
+        new_uops: list[Uop] = []
+        for i, uop in enumerate(self.uops):
+            resolved: list[int] = []
+            for dep in uop.deps:
+                if dep in keep_index:
+                    resolved.append(keep_index[dep])
+                else:
+                    resolved.extend(forwarded.get(dep, ()))
+            deps = tuple(dict.fromkeys(resolved))
+            if uop.tag in tags:
+                forwarded[i] = deps
+            else:
+                keep_index[i] = len(new_uops)
+                new_uops.append(
+                    Uop(
+                        kind=uop.kind,
+                        deps=deps,
+                        addr=uop.addr,
+                        latency=uop.latency,
+                        tag=uop.tag,
+                    )
+                )
+        return Trace(uops=new_uops)
+
+
+class TraceBuilder:
+    """Incrementally builds a :class:`Trace` during a functional allocator run.
+
+    Methods return the index of the emitted uop so callers can thread data
+    dependences: ``idx = tb.load(addr, deps=(base,))``.  A ``latency`` on
+    loads is resolved by the caller (the allocator consults the cache
+    hierarchy at emission time, because hit/miss depends on the live cache
+    state at that point in the run).
+    """
+
+    def __init__(self) -> None:
+        self._uops: list[Uop] = []
+
+    def _emit(self, uop: Uop) -> int:
+        self._uops.append(uop)
+        return len(self._uops) - 1
+
+    def alu(self, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING, latency: int = 1) -> int:
+        return self._emit(Uop(UopKind.ALU, deps=deps, latency=latency, tag=tag))
+
+    def load(self, addr: int, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        return self._emit(Uop(UopKind.LOAD, deps=deps, addr=addr, latency=latency, tag=tag))
+
+    def store(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        return self._emit(Uop(UopKind.STORE, deps=deps, addr=addr, latency=1, tag=tag))
+
+    def branch(self, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING, mispredict_penalty: int = 0) -> int:
+        return self._emit(
+            Uop(UopKind.BRANCH, deps=deps, latency=1 + mispredict_penalty, tag=tag)
+        )
+
+    def mallacc(self, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.MALLACC) -> int:
+        return self._emit(Uop(UopKind.MALLACC, deps=deps, latency=latency, tag=tag))
+
+    def prefetch(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.MALLACC) -> int:
+        return self._emit(Uop(UopKind.PREFETCH, deps=deps, addr=addr, latency=1, tag=tag))
+
+    def fixed(self, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.SLOW_PATH) -> int:
+        """A modeled block (lock acquire, system call) with a preset cost."""
+        return self._emit(Uop(UopKind.FIXED, deps=deps, latency=latency, tag=tag))
+
+    def last_index(self) -> int:
+        if not self._uops:
+            raise IndexError("trace is empty")
+        return len(self._uops) - 1
+
+    def build(self) -> Trace:
+        return Trace(uops=self._uops)

@@ -1,0 +1,58 @@
+"""Workload generators.
+
+Two families, mirroring the paper's methodology (Section 5):
+
+* :mod:`repro.workloads.micro` — the six fast-path stress microbenchmarks
+  (``tp``, ``tp_small``, ``sized_deletes``, ``gauss``, ``gauss_free``,
+  ``antagonist``);
+* :mod:`repro.workloads.macro` — synthetic allocation-trace models of the
+  paper's SPEC CPU2006 and datacenter workloads (400.perlbench, 465.tonto,
+  471.omnetpp, 483.xalancbmk, masstree.{same,wcol1}, xapian.{abstracts,
+  pages}), parameterized to match the published per-workload size-class
+  mixes (Fig. 6), fast-path fractions (Fig. 2) and allocator-time fractions
+  (Fig. 18).
+
+Generators produce deterministic :class:`~repro.workloads.base.Op` streams
+(given a seed), so baseline and Mallacc runs replay identical request
+sequences.
+"""
+
+from repro.workloads.base import Op, OpKind, Workload
+from repro.workloads.micro import (
+    MICROBENCHMARKS,
+    antagonist,
+    gauss,
+    gauss_free,
+    sized_deletes,
+    tp,
+    tp_small,
+)
+from repro.workloads.adversarial import class_thrash, fragmentation_bomb, prefetch_trap
+from repro.workloads.macro import MACRO_WORKLOADS, MacroProfile, macro_workload
+from repro.workloads.threads import balanced_churn, producer_consumer, request_fanout
+from repro.workloads.tracefile import dump_ops, load_ops, trace_workload
+
+__all__ = [
+    "MACRO_WORKLOADS",
+    "MICROBENCHMARKS",
+    "MacroProfile",
+    "Op",
+    "OpKind",
+    "Workload",
+    "antagonist",
+    "balanced_churn",
+    "class_thrash",
+    "dump_ops",
+    "fragmentation_bomb",
+    "gauss",
+    "gauss_free",
+    "load_ops",
+    "macro_workload",
+    "prefetch_trap",
+    "producer_consumer",
+    "request_fanout",
+    "sized_deletes",
+    "tp",
+    "tp_small",
+    "trace_workload",
+]

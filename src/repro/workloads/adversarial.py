@@ -1,0 +1,127 @@
+"""Adversarial workloads: where the accelerator should *not* look good.
+
+A credible hardware evaluation needs its worst cases on the table.  Three
+streams designed against Mallacc's mechanisms:
+
+* :func:`class_thrash` — round-robin through more size classes than the
+  malloc cache has entries: every ``mcszlookup`` misses, every call pays the
+  lookup + update for nothing (the Figure 17 "too small of a cache will
+  result in slowdown" regime, made permanent);
+* :func:`prefetch_trap` — the tp pathology distilled: a single class hit in
+  the tightest possible loop, so every pop's prefetch is still outstanding
+  when the next operation arrives (blocking stalls);
+* :func:`fragmentation_bomb` — allocate a large population, free every
+  other object: the classic pattern that pins spans with half-dead objects
+  (no Mallacc angle — it stresses the *allocator's* fragmentation story and
+  keeps the fragmentation report honest).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.alloc.size_classes import SizeClassTable
+from repro.workloads.base import Op, OpKind, Workload
+
+_GAP = 1
+_TABLE = SizeClassTable.generate()
+
+
+def class_thrash(num_classes: int = 48, default_ops: int = 3000) -> Workload:
+    """Stride through ``num_classes`` distinct size classes round-robin.
+
+    Sizes are the table's own class sizes, so every request lands in its own
+    class by construction."""
+    sizes = [s for s in _TABLE.class_to_size[1:] if s >= 16][:num_classes]
+
+    def generator(seed: int, num_ops: int) -> Iterator[Op]:
+        del seed
+        slot = 0
+        emitted = 0
+        while emitted < num_ops:
+            size = sizes[slot % len(sizes)]
+            warm = emitted < num_ops // 20
+            yield Op(OpKind.MALLOC, size=size, slot=slot, gap_cycles=_GAP, warmup=warm)
+            yield Op(OpKind.FREE_SIZED, size=size, slot=slot, gap_cycles=_GAP, warmup=warm)
+            slot += 1
+            emitted += 2
+
+    return Workload(
+        name=f"class_thrash[{num_classes}]",
+        generator=generator,
+        default_ops=default_ops,
+        description=f"round-robin over {len(sizes)} size classes: permanent "
+        "malloc-cache capacity misses",
+    )
+
+
+def prefetch_trap(default_ops: int = 3000) -> Workload:
+    """Single class, zero-gap malloc/free pairs: maximum prefetch blocking."""
+
+    def generator(seed: int, num_ops: int) -> Iterator[Op]:
+        del seed
+        # Standing depth so pops hit and prefetches fire (see micro.py).
+        slot = 0
+        held = []
+        for _ in range(4 * 8):
+            yield Op(OpKind.MALLOC, size=64, slot=slot, gap_cycles=_GAP, warmup=True)
+            held.append(slot)
+            slot += 1
+            if len(held) == 4:
+                for s in held:
+                    yield Op(OpKind.FREE_SIZED, size=64, slot=s, gap_cycles=_GAP, warmup=True)
+                held = []
+        emitted = 0
+        while emitted < num_ops:
+            yield Op(OpKind.MALLOC, size=64, slot=slot, gap_cycles=_GAP)
+            yield Op(OpKind.FREE_SIZED, size=64, slot=slot, gap_cycles=_GAP)
+            slot += 1
+            emitted += 2
+
+    return Workload(
+        name="prefetch_trap",
+        generator=generator,
+        default_ops=default_ops,
+        description="tightest same-class loop: every prefetch still in "
+        "flight when the next list op arrives",
+    )
+
+
+def fragmentation_bomb(population: int = 512, default_ops: int = 3000) -> Workload:
+    """Allocate a population, free alternating objects, repeat."""
+
+    def generator(seed: int, num_ops: int) -> Iterator[Op]:
+        del seed
+        slot = 0
+        emitted = 0
+        while emitted < num_ops:
+            batch = []
+            for _ in range(population):
+                if emitted >= num_ops:
+                    break
+                yield Op(OpKind.MALLOC, size=48, slot=slot, gap_cycles=_GAP,
+                         warmup=emitted < num_ops // 20)
+                batch.append(slot)
+                slot += 1
+                emitted += 1
+            # Free every other object: survivors pin their spans.
+            for s in batch[::2]:
+                if emitted >= num_ops:
+                    break
+                yield Op(OpKind.FREE_SIZED, size=48, slot=s, gap_cycles=_GAP,
+                         warmup=False)
+                emitted += 1
+            # Release the survivors later so slots don't leak unboundedly.
+            for s in batch[1::2]:
+                if emitted >= num_ops:
+                    break
+                yield Op(OpKind.FREE_SIZED, size=48, slot=s, gap_cycles=_GAP,
+                         warmup=False)
+                emitted += 1
+
+    return Workload(
+        name="fragmentation_bomb",
+        generator=generator,
+        default_ops=default_ops,
+        description=f"alternating frees over {population}-object populations",
+    )

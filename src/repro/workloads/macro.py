@@ -1,0 +1,314 @@
+"""Synthetic models of the paper's macro workloads.
+
+The paper ran four SPEC CPU2006 benchmarks that use the system allocator plus
+two datacenter workloads (the xapian search engine and the masstree key-value
+store) under XIOSim.  We cannot run those binaries; what the allocator
+*observes*, however, is only (a) the request stream and (b) the cache state
+its data structures are left in between calls.  Each
+:class:`MacroProfile` therefore captures, per workload:
+
+* the **size mix** — fit to the size-class CDFs of Figure 6 (e.g. xapian
+  uses a handful of classes, xalancbmk needs ~30 for 90% coverage,
+  masstree.same is essentially single-class);
+* **free behaviour** — free:malloc ratio, FIFO lifetimes, whether frees are
+  sized (C++ workloads compiled with ``-fsized-deallocation``) — masstree's
+  performance tests famously never free (Section 3.2);
+* **burstiness** — occasional allocation bursts that drain thread caches and
+  exercise the central/page-heap paths (Figure 1's two slow peaks);
+* **application pressure** — compute cycles and cache lines touched between
+  calls, which sets both the allocator-time fraction (Figure 18) and how
+  often the fast path misses in L1/L2 (the xalancbmk effect of Figure 16).
+
+Paper-reported reference values ride along in ``Workload.paper`` so the
+harness can print paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.workloads.base import Op, OpKind, Workload
+
+
+@dataclass(frozen=True)
+class MacroProfile:
+    """Parameters of one synthetic macro workload."""
+
+    name: str
+    sizes: tuple[tuple[int, float], ...]
+    """(request size, weight) pairs."""
+    free_ratio: float
+    """Frees issued per malloc (0 = never free, 1 = steady state)."""
+    sized_free_frac: float
+    """Fraction of frees that are sized (C++ with -fsized-deallocation)."""
+    gap_cycles_mean: int
+    """Mean application compute cycles between allocator calls."""
+    app_lines: int
+    """Application cache lines touched between allocator calls."""
+    burst_prob: float = 0.0
+    """Per-malloc probability of starting an allocation burst."""
+    burst_len: int = 0
+    lifetime_ops: int = 64
+    """Mean FIFO lifetime (in mallocs) before an object becomes freeable."""
+    phase_period: int = 0
+    """Every this many mallocs, a phase ends (0 = no phases)."""
+    phase_free_frac: float = 0.6
+    """Fraction of the live set released at a phase boundary."""
+    description: str = ""
+    paper: dict[str, float] = field(default_factory=dict)
+
+
+def _draw_size(rng: random.Random, sizes: tuple[tuple[int, float], ...], total: float) -> int:
+    x = rng.random() * total
+    acc = 0.0
+    for size, weight in sizes:
+        acc += weight
+        if x <= acc:
+            return size
+    return sizes[-1][0]
+
+
+def _macro_gen(profile: MacroProfile, seed: int, num_ops: int) -> Iterator[Op]:
+    rng = random.Random(seed ^ hash(profile.name) & 0xFFFF)
+    total_weight = sum(w for _, w in profile.sizes)
+    slot = 0
+    live: list[tuple[int, int]] = []  # FIFO of (slot, size)
+    free_debt = 0.0
+    emitted = 0
+    mallocs = 0
+    warmup_left = max(64, num_ops // 20)
+
+    def gap() -> int:
+        return max(1, int(rng.expovariate(1.0 / profile.gap_cycles_mean)))
+
+    while emitted < num_ops:
+        warm = warmup_left > 0
+        burst = 1
+        if profile.burst_prob and rng.random() < profile.burst_prob:
+            burst = profile.burst_len
+        for _ in range(burst):
+            size = _draw_size(rng, profile.sizes, total_weight)
+            yield Op(
+                OpKind.MALLOC,
+                size=size,
+                slot=slot,
+                gap_cycles=gap(),
+                app_lines=profile.app_lines,
+                warmup=warm,
+            )
+            live.append((slot, size))
+            slot += 1
+            emitted += 1
+            mallocs += 1
+            free_debt += profile.free_ratio
+            if warmup_left > 0:
+                warmup_left -= 1
+        # Pay down free debt FIFO once objects have outlived their lifetime.
+        while free_debt >= 1.0 and len(live) > profile.lifetime_ops // 2:
+            vslot, vsize = live.pop(0)
+            sized = rng.random() < profile.sized_free_frac
+            yield Op(
+                OpKind.FREE_SIZED if sized else OpKind.FREE,
+                size=vsize,
+                slot=vslot,
+                gap_cycles=gap(),
+                app_lines=profile.app_lines,
+                warmup=warm,
+            )
+            free_debt -= 1.0
+            emitted += 1
+        # Phase boundary: release most of the live set (program phases such
+        # as perlbench finishing one mail or xalancbmk one document), which
+        # drains thread caches back through the central lists and lets fully
+        # free spans return to the page heap -- the source of Figure 1's
+        # page-allocator peak when the next phase re-carves them.
+        if (
+            profile.phase_period
+            and mallocs >= profile.phase_period
+            and profile.free_ratio > 0
+        ):
+            mallocs = 0
+            release = int(len(live) * profile.phase_free_frac)
+            for _ in range(release):
+                vslot, vsize = live.pop(0)
+                sized = rng.random() < profile.sized_free_frac
+                yield Op(
+                    OpKind.FREE_SIZED if sized else OpKind.FREE,
+                    size=vsize,
+                    slot=vslot,
+                    gap_cycles=gap(),
+                    app_lines=profile.app_lines,
+                    warmup=warm,
+                )
+                emitted += 1
+
+
+def macro_workload(profile: MacroProfile, default_ops: int = 6000) -> Workload:
+    """Wrap a profile as a runnable :class:`Workload`."""
+
+    def generator(seed: int, num_ops: int) -> Iterator[Op]:
+        return _macro_gen(profile, seed, num_ops)
+
+    return Workload(
+        name=profile.name,
+        generator=generator,
+        default_ops=default_ops,
+        description=profile.description,
+        paper=dict(profile.paper),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profiles.  Size mixes follow Figure 6 (number of classes for 90% of calls);
+# gap/pressure follow Figure 18 (allocator-time fraction) and Section 6.1's
+# per-workload discussion.  Paper reference values: fig13 = allocator-time
+# improvement (%), fig14 = malloc-time improvement (%), fig18 = % of time in
+# the allocator, tab2 = full-program speedup (%).
+# ---------------------------------------------------------------------------
+
+PERLBENCH = MacroProfile(
+    name="400.perlbench",
+    sizes=((16, 0.18), (24, 0.14), (32, 0.22), (48, 0.16), (64, 0.10),
+           (96, 0.07), (144, 0.05), (256, 0.04), (512, 0.02), (1040, 0.013),
+           (4096, 0.012), (16384, 0.006)),
+    free_ratio=0.96,
+    sized_free_frac=0.0,  # C: plain free()
+    gap_cycles_mean=700,
+    app_lines=16,
+    burst_prob=0.035,
+    burst_len=48,
+    lifetime_ops=96,
+    phase_period=420,
+    phase_free_frac=0.7,
+    description="Perl interpreter (diffmail): string/SV churn over ~5 hot "
+    "size classes, no sized deletes",
+    paper={"fig18": 4.4, "tab2": 0.78},
+)
+
+TONTO = MacroProfile(
+    name="465.tonto",
+    sizes=((32, 0.45), (88, 0.35), (256, 0.12), (2048, 0.08)),
+    free_ratio=0.94,
+    sized_free_frac=0.0,
+    gap_cycles_mean=2600,
+    app_lines=30,
+    burst_prob=0.02,
+    burst_len=32,
+    lifetime_ops=48,
+    phase_period=500,
+    phase_free_frac=0.6,
+    description="Quantum chemistry (Fortran): infrequent allocation, tiny "
+    "class set",
+    paper={"fig18": 1.1, "tab2": 0.35},
+)
+
+OMNETPP = MacroProfile(
+    name="471.omnetpp",
+    sizes=((40, 0.30), (64, 0.28), (96, 0.18), (168, 0.12), (400, 0.08), (1024, 0.04)),
+    free_ratio=0.97,
+    sized_free_frac=0.8,  # C++ simulation kernel
+    gap_cycles_mean=1500,
+    app_lines=50,
+    burst_prob=0.025,
+    burst_len=40,
+    lifetime_ops=128,
+    phase_period=600,
+    phase_free_frac=0.6,
+    description="Discrete event simulator: message objects, moderate class "
+    "diversity, moderate cache pressure",
+    paper={"fig18": 2.2},
+)
+
+XALANCBMK = MacroProfile(
+    name="483.xalancbmk",
+    # Broad, nearly flat mix over ~32 distinct classes so ~30 are
+    # needed for 90% coverage (Figure 6's xalancbmk outlier).
+    sizes=((16, 1.0), (24, 0.982), (32, 0.964), (48, 0.946), (64, 0.928), (80, 0.91), (96, 0.892), (112, 0.874), (128, 0.856), (144, 0.838), (160, 0.82), (176, 0.802), (192, 0.784), (208, 0.766), (224, 0.748), (240, 0.73), (256, 0.712), (288, 0.694), (320, 0.676), (352, 0.658), (384, 0.64), (416, 0.622), (448, 0.604), (480, 0.586), (512, 0.568), (576, 0.55), (640, 0.532), (704, 0.514), (768, 0.496), (896, 0.478), (1024, 0.46), (2048, 0.442)),
+    free_ratio=0.97,
+    sized_free_frac=0.9,  # C++ with sized deallocation
+    gap_cycles_mean=2300,
+    app_lines=300,  # XML DOM traversal: heavy cache antagonist
+    burst_prob=0.02,
+    burst_len=20,
+    lifetime_ops=160,
+    phase_period=550,
+    phase_free_frac=0.65,
+    description="XSLT processor: ~30 size classes, cache-heavy application "
+    "that evicts allocator state (Figure 16)",
+    paper={"fig18": 2.8, "tab2": 0.27, "fig14_min": 40.0},
+)
+
+MASSTREE_SAME = MacroProfile(
+    name="masstree.same",
+    sizes=((272, 0.95), (8192, 0.05)),
+    free_ratio=0.0,  # the performance tests never free (Section 3.2)
+    sized_free_frac=0.0,
+    gap_cycles_mean=415,
+    app_lines=20,
+    lifetime_ops=10**9,
+    description="Key-value store, 'same' test: dominated by one large size class, never "
+    "frees — continuously drains to the page allocator",
+    paper={"fig18": 13.0, "tab2": 0.49, "fig13_approx": 5.0},
+)
+
+MASSTREE_WCOL1 = MacroProfile(
+    name="masstree.wcol1",
+    sizes=((272, 0.64), (48, 0.28), (8192, 0.08)),
+    free_ratio=0.0,
+    sized_free_frac=0.0,
+    gap_cycles_mean=330,
+    app_lines=20,
+    lifetime_ops=10**9,
+    description="Key-value store, 'wcol1' test: two classes, never frees",
+    paper={"fig18": 18.6},
+)
+
+XAPIAN_ABSTRACTS = MacroProfile(
+    name="xapian.abstracts",
+    sizes=((16, 0.30), (32, 0.34), (56, 0.26), (264, 0.07), (1024, 0.03)),
+    free_ratio=1.0,
+    sized_free_frac=0.85,
+    gap_cycles_mean=300,
+    app_lines=10,
+    burst_prob=0.01,
+    burst_len=10,
+    lifetime_ops=24,
+    description="Search engine over page abstracts: tiny class set, "
+    "short-lived objects, nearly always fast path",
+    paper={"fig18": 6.5, "tab2": 0.55, "fig14_min": 40.0},
+)
+
+XAPIAN_PAGES = MacroProfile(
+    name="xapian.pages",
+    sizes=((16, 0.26), (32, 0.30), (56, 0.24), (264, 0.12), (2048, 0.05), (8192, 0.03)),
+    free_ratio=1.0,
+    sized_free_frac=0.85,
+    gap_cycles_mean=480,
+    app_lines=12,
+    burst_prob=0.01,
+    burst_len=10,
+    lifetime_ops=24,
+    description="Search engine over full articles: like abstracts with a "
+    "tail of larger buffers",
+    paper={"fig18": 4.8, "tab2": 0.16, "fig14_min": 40.0},
+)
+
+MACRO_PROFILES: dict[str, MacroProfile] = {
+    p.name: p
+    for p in (
+        PERLBENCH,
+        TONTO,
+        OMNETPP,
+        XALANCBMK,
+        MASSTREE_SAME,
+        MASSTREE_WCOL1,
+        XAPIAN_ABSTRACTS,
+        XAPIAN_PAGES,
+    )
+}
+
+MACRO_WORKLOADS: dict[str, Workload] = {
+    name: macro_workload(profile) for name, profile in MACRO_PROFILES.items()
+}

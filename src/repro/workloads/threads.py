@@ -1,0 +1,132 @@
+"""Multithreaded workload generators.
+
+Three patterns covering the behaviours Section 2 says modern allocators were
+redesigned for, each emitting ops tagged with the issuing thread:
+
+* :func:`balanced_churn` — every thread allocates and frees its own objects
+  (the friendly case: thread caches absorb everything);
+* :func:`producer_consumer` — dedicated producers allocate, dedicated
+  consumers free (the blowup/migration stressor);
+* :func:`request_fanout` — a dispatcher thread allocates request objects
+  that random worker threads free after a service time (the RPC-server
+  shape from the datacenter-tax motivation).
+
+Run them with :func:`repro.harness.runner.run_multithreaded`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.workloads.base import Op, OpKind, Workload
+
+_SIZES = [24, 48, 64, 128, 256]
+
+
+def balanced_churn(num_threads: int, default_ops: int = 3000) -> Workload:
+    """Each thread churns its own allocations (free_prob 0.5, own objects)."""
+
+    def generator(seed: int, num_ops: int) -> Iterator[Op]:
+        rng = random.Random(seed)
+        live: list[list[tuple[int, int]]] = [[] for _ in range(num_threads)]
+        slot = 0
+        for i in range(num_ops):
+            tid = rng.randrange(num_threads)
+            mine = live[tid]
+            if mine and rng.random() < 0.5:
+                vslot, vsize = mine.pop(rng.randrange(len(mine)))
+                yield Op(OpKind.FREE_SIZED, size=vsize, slot=vslot,
+                         gap_cycles=rng.randint(20, 200), tid=tid, warmup=i < num_ops // 20)
+            else:
+                size = rng.choice(_SIZES)
+                yield Op(OpKind.MALLOC, size=size, slot=slot,
+                         gap_cycles=rng.randint(20, 200), tid=tid, warmup=i < num_ops // 20)
+                mine.append((slot, size))
+                slot += 1
+
+    return Workload(
+        name=f"balanced_churn[{num_threads}]",
+        generator=generator,
+        default_ops=default_ops,
+        description=f"{num_threads} threads churning their own allocations",
+    )
+
+
+def producer_consumer(
+    num_producers: int = 1,
+    num_consumers: int = 1,
+    queue_depth: int = 16,
+    default_ops: int = 3000,
+) -> Workload:
+    """Producers allocate, consumers free: the migration stressor."""
+    num_threads = num_producers + num_consumers
+
+    def generator(seed: int, num_ops: int) -> Iterator[Op]:
+        rng = random.Random(seed)
+        queue: list[tuple[int, int]] = []
+        slot = 0
+        emitted = 0
+        while emitted < num_ops:
+            producer = rng.randrange(num_producers)
+            size = rng.choice(_SIZES)
+            yield Op(OpKind.MALLOC, size=size, slot=slot,
+                     gap_cycles=rng.randint(20, 120), tid=producer,
+                     warmup=emitted < num_ops // 20)
+            queue.append((slot, size))
+            slot += 1
+            emitted += 1
+            if len(queue) > queue_depth:
+                consumer = num_producers + rng.randrange(num_consumers)
+                vslot, vsize = queue.pop(0)
+                yield Op(OpKind.FREE, size=vsize, slot=vslot,
+                         gap_cycles=rng.randint(20, 120), tid=consumer,
+                         warmup=emitted < num_ops // 20)
+                emitted += 1
+
+    return Workload(
+        name=f"producer_consumer[{num_producers}p{num_consumers}c]",
+        generator=generator,
+        default_ops=default_ops,
+        description=f"{num_producers} producers feeding {num_consumers} consumers "
+        f"through a {queue_depth}-deep queue",
+    )
+
+
+def request_fanout(
+    num_workers: int = 3, service_ops: int = 6, default_ops: int = 3000
+) -> Workload:
+    """Thread 0 dispatches request objects; workers free them later."""
+    num_threads = 1 + num_workers
+
+    def generator(seed: int, num_ops: int) -> Iterator[Op]:
+        rng = random.Random(seed)
+        in_service: list[tuple[int, int, int, int]] = []  # (done_at, slot, size, worker)
+        slot = 0
+        emitted = 0
+        step = 0
+        while emitted < num_ops:
+            step += 1
+            while in_service and in_service[0][0] <= step:
+                _, vslot, vsize, worker = in_service.pop(0)
+                yield Op(OpKind.FREE_SIZED, size=vsize, slot=vslot,
+                         gap_cycles=rng.randint(30, 150), tid=worker,
+                         warmup=emitted < num_ops // 20)
+                emitted += 1
+                if emitted >= num_ops:
+                    return
+            size = rng.choice(_SIZES)
+            worker = 1 + rng.randrange(num_workers)
+            yield Op(OpKind.MALLOC, size=size, slot=slot,
+                     gap_cycles=rng.randint(30, 150), tid=0,
+                     warmup=emitted < num_ops // 20)
+            in_service.append((step + rng.randint(1, service_ops), slot, size, worker))
+            slot += 1
+            emitted += 1
+
+    return Workload(
+        name=f"request_fanout[{num_workers}w]",
+        generator=generator,
+        default_ops=default_ops,
+        description=f"dispatcher thread fanning requests to {num_workers} workers",
+    )

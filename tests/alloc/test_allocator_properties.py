@@ -1,0 +1,86 @@
+"""Property-based tests of allocator correctness (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.alloc import AllocatorConfig, TCMalloc
+
+SIZES = st.sampled_from([1, 8, 16, 24, 48, 64, 100, 256, 1024, 4096, 30000])
+
+
+@given(st.lists(SIZES, min_size=1, max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_allocations_never_overlap(sizes):
+    alloc = TCMalloc()
+    regions = []
+    for size in sizes:
+        ptr, _ = alloc.malloc(size)
+        rounded = alloc.table.alloc_size_of(alloc.table.size_class_of(size))
+        for start, end in regions:
+            assert ptr + rounded <= start or ptr >= end
+        regions.append((ptr, ptr + rounded))
+
+
+@given(st.lists(SIZES, min_size=1, max_size=40), st.randoms())
+@settings(max_examples=30, deadline=None)
+def test_alloc_free_conserves(sizes, rng):
+    alloc = TCMalloc(config=AllocatorConfig(release_rate=0))
+    live = []
+    for size in sizes:
+        live.append(alloc.malloc(size)[0])
+        if live and rng.random() < 0.4:
+            alloc.free(live.pop(rng.randrange(len(live))))
+    for ptr in live:
+        alloc.free(ptr)
+    assert alloc.live_bytes == 0
+    alloc.check_conservation()
+
+
+@given(st.lists(SIZES, min_size=1, max_size=40))
+@settings(max_examples=20, deadline=None)
+def test_cycles_always_positive_and_clock_monotone(sizes):
+    alloc = TCMalloc()
+    last_clock = -1
+    for size in sizes:
+        _, rec = alloc.malloc(size)
+        assert rec.cycles > 0
+        assert rec.clock > last_clock
+        last_clock = rec.clock
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Stateful fuzz: malloc/free/sized_free in random interleavings, with
+    conservation checked as an invariant."""
+
+    def __init__(self):
+        super().__init__()
+        self.alloc = TCMalloc(config=AllocatorConfig(release_rate=0))
+        self.live: dict[int, int] = {}
+
+    @rule(size=SIZES)
+    def do_malloc(self, size):
+        ptr, rec = self.alloc.malloc(size)
+        assert ptr not in self.live
+        self.live[ptr] = size
+        assert rec.cycles > 0
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def do_free(self, data):
+        ptr = data.draw(st.sampled_from(sorted(self.live)))
+        size = self.live.pop(ptr)
+        if size <= 256 * 1024 and data.draw(st.booleans()):
+            self.alloc.sized_free(ptr, size)
+        else:
+            self.alloc.free(ptr)
+
+    @invariant()
+    def conservation(self):
+        assert self.alloc.live_bytes == sum(self.live.values())
+
+
+AllocatorMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestAllocatorStateful = AllocatorMachine.TestCase

@@ -1,0 +1,123 @@
+"""Tests for the central free lists."""
+
+import pytest
+
+from repro.alloc.central_cache import CentralFreeList
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.context import Machine
+from repro.alloc.page_heap import PageHeap
+from repro.alloc.size_classes import SizeClassTable
+from repro.sim.uop import UopKind
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    config = AllocatorConfig(release_rate=0)
+    table = SizeClassTable.generate(machine.address_space)
+    heap = PageHeap(machine.address_space, config)
+    cl = table.size_class_of(64)
+    central = CentralFreeList(cl, table, heap, config)
+    return machine, table, heap, cl, central
+
+
+class TestRemoveRange:
+    def test_populates_on_demand(self, setup):
+        machine, table, heap, cl, central = setup
+        taken = central.remove_range(machine.new_emitter(), 4)
+        assert len(taken) == 4
+        assert central.stats.populates == 1
+        assert heap.stats.spans_allocated == 1
+
+    def test_objects_unique_and_spaced(self, setup):
+        machine, table, heap, cl, central = setup
+        taken = central.remove_range(machine.new_emitter(), 8)
+        assert len(set(taken)) == 8
+        obj = table.alloc_size_of(cl)
+        addrs = sorted(taken)
+        assert all(b - a == obj for a, b in zip(addrs, addrs[1:]))
+
+    def test_carving_links_objects_in_memory(self, setup):
+        machine, table, heap, cl, central = setup
+        central.remove_range(machine.new_emitter(), 1)
+        span = central.nonempty_spans[-1]
+        # Walk the span free list through simulated memory.
+        count, ptr = 0, span.freelist_head
+        while ptr and count < 10_000:
+            ptr = machine.memory.read_word(ptr)
+            count += 1
+        assert count == span.objects_free
+
+    def test_no_repopulate_while_nonempty(self, setup):
+        machine, table, heap, cl, central = setup
+        central.remove_range(machine.new_emitter(), 2)
+        central.remove_range(machine.new_emitter(), 2)
+        assert central.stats.populates == 1
+
+    def test_lock_cost_emitted(self, setup):
+        machine, table, heap, cl, central = setup
+        em = machine.new_emitter()
+        central.remove_range(em, 1)
+        fixed = [u for u in em.build() if u.kind is UopKind.FIXED]
+        assert len(fixed) >= 2  # acquire + release at least
+
+    def test_invalid_count(self, setup):
+        machine, *_, central = setup
+        with pytest.raises(ValueError):
+            central.remove_range(machine.new_emitter(), 0)
+
+    def test_accounting(self, setup):
+        machine, table, heap, cl, central = setup
+        per_span = table.objects_per_span(cl)
+        central.remove_range(machine.new_emitter(), 5)
+        assert central.num_free_objects == per_span - 5
+
+
+class TestInsertRange:
+    def test_roundtrip(self, setup):
+        machine, table, heap, cl, central = setup
+        taken = central.remove_range(machine.new_emitter(), 6)
+        before = central.num_free_objects
+        central.insert_range(machine.new_emitter(), taken[:3])
+        assert central.num_free_objects == before + 3
+
+    def test_full_roundtrip_releases_span(self, setup):
+        """Returning every object completes the span, which goes back to
+        the page heap rather than sitting in the central list."""
+        machine, table, heap, cl, central = setup
+        taken = central.remove_range(machine.new_emitter(), 6)
+        central.insert_range(machine.new_emitter(), taken)
+        assert central.stats.spans_returned == 1
+        assert central.num_free_objects == 0
+
+    def test_wrong_class_rejected(self, setup):
+        machine, table, heap, cl, central = setup
+        other = CentralFreeList(cl + 1, table, heap, AllocatorConfig(release_rate=0))
+        taken = central.remove_range(machine.new_emitter(), 1)
+        with pytest.raises(ValueError):
+            other.insert_range(machine.new_emitter(), taken)
+
+    def test_full_span_returns_to_page_heap(self, setup):
+        machine, table, heap, cl, central = setup
+        per_span = table.objects_per_span(cl)
+        taken = central.remove_range(machine.new_emitter(), per_span)
+        assert central.num_free_objects == 0
+        central.insert_range(machine.new_emitter(), taken)
+        assert central.stats.spans_returned == 1
+        assert heap.stats.spans_freed == 1
+        assert central.num_free_objects == 0
+
+    def test_reuse_after_span_return(self, setup):
+        machine, table, heap, cl, central = setup
+        per_span = table.objects_per_span(cl)
+        taken = central.remove_range(machine.new_emitter(), per_span)
+        central.insert_range(machine.new_emitter(), taken)
+        again = central.remove_range(machine.new_emitter(), 2)
+        assert len(again) == 2
+
+    def test_stats_track_movement(self, setup):
+        machine, table, heap, cl, central = setup
+        taken = central.remove_range(machine.new_emitter(), 3)
+        central.insert_range(machine.new_emitter(), taken[:2])
+        assert central.stats.objects_moved_out == 3
+        assert central.stats.objects_moved_in == 2

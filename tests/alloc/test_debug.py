@@ -1,0 +1,103 @@
+"""Tests for the debugging allocator."""
+
+import pytest
+
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.debug import CANARY, POISON, DebugAllocator, HeapCorruptionError
+
+
+@pytest.fixture
+def dbg():
+    return DebugAllocator(config=AllocatorConfig(release_rate=0))
+
+
+class TestCanaries:
+    def test_clean_roundtrip(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        dbg.free(ptr)
+        assert dbg.frees_checked == 1
+        assert dbg.corruptions_detected == 0
+
+    def test_canaries_planted(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        assert dbg.machine.memory.read_word(ptr - 8) == CANARY
+        tail = ptr + ((64 + 7) & ~7)
+        assert dbg.machine.memory.read_word(tail) == CANARY
+
+    def test_trailing_overwrite_detected(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        # Application writes one word past the end.
+        dbg.machine.memory.write_word(ptr + 64, 0x41414141)
+        with pytest.raises(HeapCorruptionError, match="trailing"):
+            dbg.free(ptr)
+        assert dbg.corruptions_detected == 1
+
+    def test_leading_overwrite_detected(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        dbg.machine.memory.write_word(ptr - 8, 0)
+        with pytest.raises(HeapCorruptionError, match="leading"):
+            dbg.free(ptr)
+
+    def test_in_bounds_writes_fine(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        for off in range(0, 64, 8):
+            dbg.machine.memory.write_word(ptr + off, 0x5555)
+        dbg.free(ptr)  # no exception
+
+    def test_unaligned_size_canary_placement(self, dbg):
+        ptr, _ = dbg.malloc(60)
+        dbg.machine.memory.write_word(ptr + 56, 0x77)  # last in-bounds word
+        dbg.free(ptr)
+
+    def test_sized_free_also_checks(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        dbg.machine.memory.write_word(ptr + 64, 1)
+        with pytest.raises(HeapCorruptionError):
+            dbg.sized_free(ptr, 64)
+
+    def test_checks_cost_cycles(self):
+        plain = DebugAllocator(config=AllocatorConfig(release_rate=0))
+        from repro.alloc import TCMalloc
+
+        stock = TCMalloc(config=AllocatorConfig(release_rate=0))
+        for _ in range(30):
+            p, _ = plain.malloc(64)
+            plain.free(p)
+            q, _ = stock.malloc(64)
+            stock.free(q)
+        _, debug_rec = plain.malloc(64)
+        _, stock_rec = stock.malloc(64)
+        assert debug_rec.cycles > stock_rec.cycles  # redzones aren't free
+
+
+class TestForensics:
+    def test_double_free_message(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        dbg.free(ptr)
+        with pytest.raises(ValueError, match="unallocated"):
+            dbg.free(ptr)
+
+    def test_free_fill_poisons(self, dbg):
+        ptr, _ = dbg.malloc(64)
+        dbg.free(ptr)
+        # Reading through the stale pointer shows poison or a list link,
+        # never the old payload.
+        word = dbg.machine.memory.read_word(ptr)
+        assert word != 0x5555
+
+    def test_leak_report_orders_by_age(self, dbg):
+        a, _ = dbg.malloc(32)
+        b, _ = dbg.malloc(64)
+        c, _ = dbg.malloc(128)
+        dbg.free(b)
+        report = dbg.leak_report()
+        assert [r.ptr for r in report] == [a, c]
+        assert report[0].allocated_at <= report[1].allocated_at
+        assert dbg.leaked_bytes() == 32 + 128
+
+    def test_no_leaks_when_all_freed(self, dbg):
+        ptrs = [dbg.malloc(48)[0] for _ in range(10)]
+        for p in ptrs:
+            dbg.free(p)
+        assert dbg.leak_report() == []
+        assert dbg.leaked_bytes() == 0

@@ -1,0 +1,105 @@
+"""Tests for calloc / realloc / memalign."""
+
+import pytest
+
+from repro.alloc import AllocatorConfig, TCMalloc
+from repro.core import MallaccTCMalloc
+
+
+@pytest.fixture
+def alloc():
+    return TCMalloc(config=AllocatorConfig(release_rate=0))
+
+
+class TestCalloc:
+    def test_allocates_product(self, alloc):
+        ptr, rec = alloc.calloc(10, 16)
+        assert alloc.live[ptr][0] == 160
+
+    def test_memset_charged(self, alloc):
+        for _ in range(6):  # warm the 4 KB class
+            p, _ = alloc.malloc(4096)
+            alloc.sized_free(p, 4096)
+        _, plain = alloc.malloc(4096)
+        _, zeroed = alloc.calloc(64, 64)  # 4 KB, zeroed
+        assert zeroed.cycles > plain.cycles + 64  # the memset bill
+
+    def test_validation(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.calloc(0, 8)
+        with pytest.raises(ValueError):
+            alloc.calloc(8, 0)
+
+
+class TestRealloc:
+    def test_same_class_in_place(self, alloc):
+        ptr, _ = alloc.malloc(60)
+        new_ptr, rec = alloc.realloc(ptr, 62)  # same 64-byte class
+        assert new_ptr == ptr
+        assert alloc.live[ptr][0] == 62
+        assert rec.cycles < 60  # no copy, no new allocation
+
+    def test_grow_moves_and_copies(self, alloc):
+        ptr, _ = alloc.malloc(64)
+        new_ptr, rec = alloc.realloc(ptr, 4096)
+        assert new_ptr != ptr
+        assert ptr not in alloc.live
+        assert alloc.live[new_ptr][0] == 4096
+        assert rec.cycles > 2  # includes the copy
+
+    def test_shrink_across_classes(self, alloc):
+        ptr, _ = alloc.malloc(4096)
+        new_ptr, _ = alloc.realloc(ptr, 16)
+        assert alloc.live[new_ptr][0] == 16
+        alloc.check_conservation()
+
+    def test_large_object_realloc(self, alloc):
+        ptr, _ = alloc.malloc(512 * 1024)
+        new_ptr, _ = alloc.realloc(ptr, 700 * 1024)
+        assert alloc.live[new_ptr][0] == 700 * 1024
+        assert ptr not in alloc.live
+
+    def test_errors(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.realloc(0x9999, 64)
+        ptr, _ = alloc.malloc(64)
+        with pytest.raises(ValueError):
+            alloc.realloc(ptr, 0)
+
+    def test_works_on_mallacc(self):
+        accel = MallaccTCMalloc(config=AllocatorConfig(release_rate=0))
+        ptr, _ = accel.malloc(60)
+        new_ptr, _ = accel.realloc(ptr, 62)
+        assert new_ptr == ptr
+        new_ptr, _ = accel.realloc(ptr, 2000)
+        assert new_ptr != ptr
+        accel.check_conservation()
+        accel.malloc_cache.check_invariants(accel.machine.memory)
+
+
+class TestMemalign:
+    def test_small_alignment_natural(self, alloc):
+        ptr, _ = alloc.memalign(16, 100)
+        assert ptr % 16 == 0
+
+    def test_page_alignment(self, alloc):
+        ptr, _ = alloc.memalign(8192, 100)
+        assert ptr % 8192 == 0
+        assert alloc.live[ptr][0] == 100  # requested size preserved
+
+    def test_large_alignment(self, alloc):
+        ptr, _ = alloc.memalign(4096, 5000)
+        assert ptr % 4096 == 0
+
+    def test_non_power_of_two_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.memalign(24, 64)
+        with pytest.raises(ValueError):
+            alloc.memalign(0, 64)
+
+    def test_conservation_after_retries(self, alloc):
+        ptrs = [alloc.memalign(1024, 100)[0] for _ in range(5)]
+        assert len(set(ptrs)) == 5
+        for p in ptrs:
+            alloc.free(p)
+        alloc.check_conservation()

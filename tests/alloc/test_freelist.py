@@ -1,0 +1,182 @@
+"""Tests for free lists in simulated memory."""
+
+import pytest
+
+from repro.alloc.context import Machine
+from repro.alloc.freelist import FreeList
+from repro.sim.memory import NULL
+from repro.sim.uop import Tag, UopKind
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def flist(machine):
+    addr = machine.address_space.reserve_metadata(64, align=64)
+    return FreeList(memory=machine.memory, header_addr=addr)
+
+
+BLOCKS = [0x2000_0000_0000 + i * 64 for i in range(8)]
+
+
+class TestFunctional:
+    def test_push_pop_lifo(self, flist):
+        for b in BLOCKS[:3]:
+            flist.push_functional(b)
+        assert flist.pop_functional() == BLOCKS[2]
+        assert flist.pop_functional() == BLOCKS[1]
+        assert flist.pop_functional() == BLOCKS[0]
+
+    def test_links_live_in_simulated_memory(self, flist, machine):
+        """The TCMalloc trick: *block == next pointer."""
+        flist.push_functional(BLOCKS[0])
+        flist.push_functional(BLOCKS[1])
+        assert machine.memory.read_word(flist.header_addr) == BLOCKS[1]
+        assert machine.memory.read_word(BLOCKS[1]) == BLOCKS[0]
+        assert machine.memory.read_word(BLOCKS[0]) == NULL
+
+    def test_length_tracking(self, flist):
+        for b in BLOCKS[:4]:
+            flist.push_functional(b)
+        assert flist.length == 4
+        flist.pop_functional()
+        assert flist.length == 3
+
+    def test_pop_empty_raises(self, flist):
+        with pytest.raises(IndexError):
+            flist.pop_functional()
+
+    def test_double_push_rejected(self, flist):
+        flist.push_functional(BLOCKS[0])
+        with pytest.raises(ValueError):
+            flist.push_functional(BLOCKS[0])
+
+    def test_contains(self, flist):
+        flist.push_functional(BLOCKS[0])
+        assert BLOCKS[0] in flist
+        assert BLOCKS[1] not in flist
+
+    def test_iter_blocks_walks_memory(self, flist):
+        for b in BLOCKS[:4]:
+            flist.push_functional(b)
+        assert list(flist.iter_blocks()) == list(reversed(BLOCKS[:4]))
+
+    def test_low_water_tracks_minimum(self, flist):
+        for b in BLOCKS[:4]:
+            flist.push_functional(b)
+        flist.low_water = flist.length
+        flist.pop_functional()
+        flist.pop_functional()
+        flist.push_functional(BLOCKS[3])
+        assert flist.low_water == 2
+
+
+class TestTimedOps:
+    def test_emit_pop_is_figure7(self, flist, machine):
+        """Pop = two dependent loads + one store (Figure 7)."""
+        flist.push_functional(BLOCKS[0])
+        flist.push_functional(BLOCKS[1])
+        em = machine.new_emitter()
+        result = flist.emit_pop(em)
+        trace = em.build()
+        loads = [u for u in trace if u.kind is UopKind.LOAD]
+        stores = [u for u in trace if u.kind is UopKind.STORE]
+        assert len(loads) == 2 and len(stores) == 1
+        assert result.ptr == BLOCKS[1]
+        assert result.next_ptr == BLOCKS[0]
+        # Second load depends on the first (head -> head->next).
+        assert trace.uops[1].deps == (0,)
+        assert all(u.tag is Tag.PUSH_POP for u in trace)
+
+    def test_emit_pop_updates_memory(self, flist, machine):
+        flist.push_functional(BLOCKS[0])
+        flist.push_functional(BLOCKS[1])
+        em = machine.new_emitter()
+        flist.emit_pop(em)
+        assert machine.memory.read_word(flist.header_addr) == BLOCKS[0]
+        assert flist.length == 1
+
+    def test_emit_push_structure(self, flist, machine):
+        em = machine.new_emitter()
+        flist.emit_push(em, BLOCKS[0])
+        trace = em.build()
+        assert trace.count(UopKind.LOAD) == 1
+        assert trace.count(UopKind.STORE) == 2
+
+    def test_emit_push_then_pop_roundtrip(self, flist, machine):
+        em = machine.new_emitter()
+        flist.emit_push(em, BLOCKS[0])
+        flist.emit_push(em, BLOCKS[1])
+        result = flist.emit_pop(em)
+        assert result.ptr == BLOCKS[1]
+
+    def test_emit_pop_empty_raises(self, flist, machine):
+        with pytest.raises(IndexError):
+            flist.emit_pop(machine.new_emitter())
+
+    def test_emit_push_double_free_raises(self, flist, machine):
+        em = machine.new_emitter()
+        flist.emit_push(em, BLOCKS[0])
+        with pytest.raises(ValueError):
+            flist.emit_push(em, BLOCKS[0])
+
+    def test_metadata_update_tagged(self, flist, machine):
+        em = machine.new_emitter()
+        flist.emit_update_metadata(em)
+        trace = em.build()
+        assert all(u.tag is Tag.METADATA for u in trace)
+        assert len(trace) == 3  # load, alu, store
+
+
+class TestCachedOps:
+    def _prime(self, flist):
+        flist.push_functional(BLOCKS[0])
+        flist.push_functional(BLOCKS[1])
+        flist.push_functional(BLOCKS[2])
+
+    def test_pop_cached_skips_loads(self, flist, machine):
+        self._prime(flist)
+        em = machine.new_emitter()
+        flist.pop_cached(em, BLOCKS[2], BLOCKS[1])
+        trace = em.build()
+        assert trace.count(UopKind.LOAD) == 0
+        assert trace.count(UopKind.STORE) == 1
+        assert flist.length == 2
+        assert machine.memory.read_word(flist.header_addr) == BLOCKS[1]
+
+    def test_pop_cached_detects_wrong_head(self, flist, machine):
+        self._prime(flist)
+        with pytest.raises(AssertionError, match="diverged"):
+            flist.pop_cached(machine.new_emitter(), BLOCKS[0], BLOCKS[1])
+
+    def test_pop_cached_detects_wrong_next(self, flist, machine):
+        self._prime(flist)
+        with pytest.raises(AssertionError, match="diverged"):
+            flist.pop_cached(machine.new_emitter(), BLOCKS[2], BLOCKS[0])
+
+    def test_pop_cached_empty_raises(self, flist, machine):
+        with pytest.raises(IndexError):
+            flist.pop_cached(machine.new_emitter(), BLOCKS[0], NULL)
+
+    def test_push_cached_skips_head_load(self, flist, machine):
+        self._prime(flist)
+        em = machine.new_emitter()
+        flist.push_cached(em, BLOCKS[4], BLOCKS[2])
+        trace = em.build()
+        assert trace.count(UopKind.LOAD) == 0
+        assert trace.count(UopKind.STORE) == 2
+        assert machine.memory.read_word(flist.header_addr) == BLOCKS[4]
+        assert machine.memory.read_word(BLOCKS[4]) == BLOCKS[2]
+
+    def test_push_cached_detects_stale_head(self, flist, machine):
+        self._prime(flist)
+        with pytest.raises(AssertionError, match="diverged"):
+            flist.push_cached(machine.new_emitter(), BLOCKS[4], BLOCKS[0])
+
+    def test_push_cached_double_free(self, flist, machine):
+        self._prime(flist)
+        with pytest.raises(ValueError):
+            flist.push_cached(machine.new_emitter(), BLOCKS[2], BLOCKS[2])

@@ -1,0 +1,88 @@
+"""Tests for heap-profile reconstruction from samples."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import AllocatorConfig, TCMalloc
+from repro.alloc.heap_profile import build_profile, fidelity
+from repro.alloc.sampler import SampleRecord
+from repro.core import MallaccTCMalloc
+
+
+def samples_of(sizes):
+    return [SampleRecord(size=s, clock=i) for i, s in enumerate(sizes)]
+
+
+class TestProfile:
+    def test_weighting_debiases_small_objects(self):
+        """A sampled 64 B allocation under a 64 KB period represents ~1024
+        allocations; its weight must reflect that."""
+        profile = build_profile(samples_of([64]), period=64 * 1024)
+        assert profile.estimated_bytes_by_size[64] == pytest.approx(64 * 1024)
+
+    def test_large_objects_weighted_once(self):
+        profile = build_profile(samples_of([128 * 1024]), period=64 * 1024)
+        assert profile.estimated_bytes_by_size[128 * 1024] == pytest.approx(128 * 1024)
+
+    def test_total_and_top_sizes(self):
+        profile = build_profile(samples_of([64, 64, 1024]), period=1024)
+        top = profile.top_sizes(1)
+        assert top[0][0] in (64, 1024)
+        assert profile.estimated_total_bytes > 0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            build_profile([], period=0)
+
+    def test_empty_samples(self):
+        assert build_profile([], period=1024).estimated_total_bytes == 0.0
+
+
+class TestFidelity:
+    def _run(self, cls, period=32 * 1024, n=4000, seed=5):
+        alloc = cls(config=AllocatorConfig(sample_parameter=period, release_rate=0))
+        rng = random.Random(seed)
+        total = 0
+        for _ in range(n):
+            size = rng.choice([16, 64, 256, 1024])
+            alloc.malloc(size)
+            total += size
+        samples = alloc.pmu.samples if isinstance(alloc, MallaccTCMalloc) else alloc.sampler.samples
+        return fidelity(samples, period, total)
+
+    def test_software_sampler_accurate(self):
+        report = self._run(TCMalloc)
+        assert report.samples > 10
+        assert report.relative_error < 0.35
+
+    def test_pmu_sampler_accurate(self):
+        report = self._run(MallaccTCMalloc)
+        assert report.samples > 10
+        assert report.relative_error < 0.35
+
+    def test_pmu_matches_software_rate(self):
+        sw = self._run(TCMalloc)
+        pmu = self._run(MallaccTCMalloc)
+        assert abs(sw.samples - pmu.samples) <= max(3, sw.samples // 2)
+
+    def test_zero_truth(self):
+        report = fidelity([], 1024, 0)
+        assert report.relative_error == 0.0
+
+    @given(st.lists(st.sampled_from([32, 128, 512, 2048]), min_size=50, max_size=300))
+    @settings(max_examples=15, deadline=None)
+    def test_property_estimate_unbiased_order(self, sizes):
+        """The estimate lands within a small factor of the truth for any
+        mix, given enough samples."""
+        period = 2048
+        alloc = TCMalloc(config=AllocatorConfig(sample_parameter=period, release_rate=0))
+        total = 0
+        for size in sizes:
+            alloc.malloc(size)
+            total += size
+        report = fidelity(alloc.sampler.samples, period, total)
+        if report.samples >= 10:
+            assert report.relative_error < 0.8

@@ -1,0 +1,218 @@
+"""Tests for the Hoard-style allocator."""
+
+import random
+
+import pytest
+
+from repro.alloc.hoard import (
+    EMPTINESS_THRESHOLD,
+    MAX_BLOCK,
+    SLACK_SUPERBLOCKS,
+    SUPERBLOCK_BYTES,
+    HoardAllocator,
+    hoard_size_classes,
+)
+
+
+class TestSizeClasses:
+    def test_geometric_growth(self):
+        sizes = hoard_size_classes()
+        assert sizes[0] == 16
+        assert sizes[-1] == MAX_BLOCK
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        assert all(1.0 < r <= 1.6 for r in ratios)
+
+    def test_aligned(self):
+        assert all(s % 8 == 0 for s in hoard_size_classes())
+
+    def test_class_of_rounds_up(self):
+        h = HoardAllocator()
+        for size in (1, 16, 17, 100, 1000, MAX_BLOCK):
+            cl = h.class_of(size)
+            assert h.block_size_of(cl) >= size
+            if cl > 0:
+                assert h.block_size_of(cl - 1) < size
+
+    def test_class_of_bounds(self):
+        h = HoardAllocator()
+        with pytest.raises(ValueError):
+            h.class_of(0)
+        with pytest.raises(MemoryError):
+            h.class_of(MAX_BLOCK + 1)
+
+
+class TestAllocFree:
+    def test_roundtrip(self):
+        h = HoardAllocator()
+        ptr, cycles = h.malloc(64)
+        assert cycles > 0
+        h.free(ptr)
+        h.check_invariants()
+
+    def test_blocks_within_superblock(self):
+        h = HoardAllocator()
+        ptrs = [h.malloc(64)[0] for _ in range(10)]
+        bases = {p - (p - 0x2000_0000_0000) % SUPERBLOCK_BYTES for p in ptrs}
+        assert len(bases) == 1  # all from the current superblock
+
+    def test_superblock_refill_when_full(self):
+        h = HoardAllocator()
+        cl = h.class_of(4000)
+        capacity = SUPERBLOCK_BYTES // h.block_size_of(cl)
+        for _ in range(capacity + 1):
+            h.malloc(4000)
+        assert h.stats.superblocks_created == 2
+
+    def test_free_returns_to_owning_superblock(self):
+        """Hoard semantics: a block freed anywhere returns to its
+        superblock, not to a freeing-thread cache."""
+        h = HoardAllocator(num_heaps=2)
+        ptr, _ = h.malloc(64, heap=0)
+        h.free(ptr, heap=1)
+        ptr2, _ = h.malloc(64, heap=0)
+        assert ptr2 == ptr  # heap 0's superblock got its block back
+
+    def test_double_free_rejected(self):
+        h = HoardAllocator()
+        ptr, _ = h.malloc(64)
+        h.free(ptr)
+        with pytest.raises(ValueError):
+            h.free(ptr)
+
+    def test_bad_heap(self):
+        h = HoardAllocator(num_heaps=2)
+        with pytest.raises(ValueError):
+            h.malloc(64, heap=2)
+
+    def test_steady_state_fast(self):
+        h = HoardAllocator()
+        for _ in range(60):
+            p, _ = h.malloc(64)
+            h.free(p)
+        _, cycles = h.malloc(64)
+        assert cycles <= 30  # a Figure 7 pop, like the others
+
+
+class TestEmptinessInvariant:
+    def test_empty_superblocks_migrate_to_global(self):
+        h = HoardAllocator()
+        cl = h.class_of(2048)
+        per_sb = SUPERBLOCK_BYTES // h.block_size_of(cl)
+        ptrs = [h.malloc(2048)[0] for _ in range(per_sb * (SLACK_SUPERBLOCKS + 3))]
+        for p in ptrs:
+            h.free(p)
+        assert h.stats.migrations_to_global > 0
+        assert h.global_heap.get(cl)
+        h.check_invariants()
+
+    def test_global_superblocks_reused(self):
+        h = HoardAllocator(num_heaps=2)
+        cl = h.class_of(2048)
+        per_sb = SUPERBLOCK_BYTES // h.block_size_of(cl)
+        ptrs = [h.malloc(2048, heap=0)[0] for _ in range(per_sb * (SLACK_SUPERBLOCKS + 3))]
+        for p in ptrs:
+            h.free(p, heap=0)
+        created = h.stats.superblocks_created
+        h.malloc(2048, heap=1)  # heap 1 should reuse a migrated superblock
+        assert h.stats.migrations_from_global >= 1
+        assert h.stats.superblocks_created == created
+
+    def test_blowup_bounded(self):
+        """Hoard's theorem: footprint stays O(live) + K * S per heap even
+        for producer/consumer churn."""
+        h = HoardAllocator(num_heaps=2)
+        queue = []
+        for _ in range(2000):
+            p, _ = h.malloc(128, heap=0)
+            queue.append(p)
+            if len(queue) > 8:
+                h.free(queue.pop(0), heap=1)
+        bound = h.live_bytes * 8 + 2 * (SLACK_SUPERBLOCKS + 2) * SUPERBLOCK_BYTES
+        assert h.reserved_bytes() <= bound
+        h.check_invariants()
+
+    def test_emptiness_threshold_respected(self):
+        """No migration while the heap stays above the threshold."""
+        h = HoardAllocator()
+        ptrs = [h.malloc(64)[0] for _ in range(100)]
+        # Free just a handful: fullness stays high.
+        for p in ptrs[:5]:
+            h.free(p)
+        assert h.stats.migrations_to_global == 0
+
+
+class TestInvariants:
+    def test_churn_conserves(self):
+        h = HoardAllocator(num_heaps=3)
+        rng = random.Random(9)
+        live = []
+        for _ in range(1000):
+            heap = rng.randrange(3)
+            if live and rng.random() < 0.5:
+                h.free(live.pop(rng.randrange(len(live))), heap=heap)
+            else:
+                live.append(h.malloc(rng.choice([16, 64, 256, 1024]), heap=heap)[0])
+        h.check_invariants()
+        assert h.live_bytes == sum(h.live[p][0] for p in h.live)
+
+    def test_pointers_unique(self):
+        h = HoardAllocator()
+        ptrs = [h.malloc(100)[0] for _ in range(200)]
+        assert len(set(ptrs)) == 200
+
+
+class TestMallaccHoard:
+    """Mallacc over Hoard: works, with documented generality caveats."""
+
+    def _churn(self, cls, n=800, heaps=2, seed=1):
+        from repro.alloc.hoard import MallaccHoard  # noqa: F401
+
+        h = cls(num_heaps=heaps)
+        rng = random.Random(seed)
+        live, cycles = [], 0
+        for _ in range(n):
+            heap = rng.randrange(heaps)
+            if live and rng.random() < 0.5:
+                cycles += h.free(live.pop(rng.randrange(len(live))), heap=heap)
+            else:
+                p, cy = h.malloc(rng.choice([16, 40, 100, 500]), heap=heap)
+                live.append(p)
+                cycles += cy
+        h.check_invariants()
+        return h, cycles, live
+
+    def test_pointer_equivalence(self):
+        from repro.alloc.hoard import MallaccHoard
+
+        _, _, base_ptrs = self._churn(HoardAllocator)
+        _, _, accel_ptrs = self._churn(MallaccHoard)
+        assert base_ptrs == accel_ptrs
+
+    def test_saves_cycles(self):
+        from repro.alloc.hoard import MallaccHoard
+
+        _, base_cycles, _ = self._churn(HoardAllocator)
+        _, accel_cycles, _ = self._churn(MallaccHoard)
+        assert accel_cycles < base_cycles
+
+    def test_per_heap_caches(self):
+        from repro.alloc.hoard import MallaccHoard
+
+        h, _, _ = self._churn(MallaccHoard)
+        assert h.isas[0].cache is not h.isas[1].cache
+        assert h.isas[0].cache.sz_hit_rate > 0.9
+
+    def test_pop_hit_rate_lower_than_tcmalloc(self):
+        """The generality caveat: Hoard's per-superblock lists force
+        invalidations TCMalloc's per-class anchors never need, so the list
+        half of the cache hits less often."""
+        from repro.alloc.hoard import MallaccHoard
+
+        h, _, _ = self._churn(MallaccHoard)
+        assert 0.1 < h.isas[0].cache.pop_hit_rate < 0.85
+
+    def test_single_heap_no_remote_invalidation(self):
+        from repro.alloc.hoard import MallaccHoard
+
+        h, _, _ = self._churn(MallaccHoard, heaps=1)
+        assert h.isas[0].cache.pop_hit_rate > 0.3

@@ -1,0 +1,77 @@
+"""Tests for the MallocExtension-style heap statistics."""
+
+import random
+
+import pytest
+
+from repro.alloc import AllocatorConfig, TCMalloc
+from repro.alloc.introspection import collect_stats, render_stats
+
+
+@pytest.fixture
+def alloc():
+    return TCMalloc(config=AllocatorConfig(release_rate=0))
+
+
+class TestCollect:
+    def test_empty_allocator(self, alloc):
+        stats = collect_stats(alloc)
+        assert stats.in_use_by_app == 0
+        assert stats.heap_size == 0
+        assert stats.consistent()
+
+    def test_live_bytes_counted_rounded(self, alloc):
+        alloc.malloc(60)  # rounds to the 64-byte class
+        stats = collect_stats(alloc)
+        assert stats.in_use_by_app == 64
+
+    def test_freed_bytes_move_to_thread_cache(self, alloc):
+        p, _ = alloc.malloc(64)
+        alloc.sized_free(p, 64)
+        stats = collect_stats(alloc)
+        assert stats.in_use_by_app == 0
+        assert stats.thread_cache_bytes >= 64
+
+    def test_central_and_page_heap_accounted(self, alloc):
+        alloc.malloc(64)  # carves a span; the rest sits in central + page heap
+        stats = collect_stats(alloc)
+        assert stats.central_cache_bytes > 0
+        assert stats.page_heap_free_bytes > 0
+        assert stats.consistent()
+
+    def test_large_allocations(self, alloc):
+        alloc.malloc(512 * 1024)
+        stats = collect_stats(alloc)
+        assert stats.in_use_by_app >= 512 * 1024
+
+    def test_released_bytes_tracked(self):
+        alloc = TCMalloc(config=AllocatorConfig(release_rate=1))
+        p, _ = alloc.malloc(512 * 1024)
+        alloc.free(p)
+        stats = collect_stats(alloc)
+        assert stats.released_to_os_bytes > 0
+        assert stats.heap_size < stats.reserved_from_os_bytes
+
+    def test_conservation_under_churn(self, alloc):
+        rng = random.Random(5)
+        live = []
+        for _ in range(500):
+            if live and rng.random() < 0.5:
+                alloc.free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(alloc.malloc(rng.choice([16, 64, 256, 2048]))[0])
+        stats = collect_stats(alloc)
+        assert stats.consistent()
+        # Everything the OS gave us is in exactly one pool (± span slack).
+        accounted = stats.in_use_by_app + stats.cached_bytes
+        assert accounted >= stats.heap_size * 0.85
+
+
+class TestRender:
+    def test_classic_format(self, alloc):
+        alloc.malloc(1000)
+        text = render_stats(collect_stats(alloc))
+        assert "MALLOC:" in text
+        assert "Bytes in use by application" in text
+        assert "MiB" in text
+        assert text.count("\n") >= 9

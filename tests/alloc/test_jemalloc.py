@@ -1,0 +1,174 @@
+"""Tests for the jemalloc-style allocator and Mallacc's generality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.constants import AllocatorConfig, K_MAX_SIZE
+from repro.alloc.jemalloc import (
+    Jemalloc,
+    JemallocSizeClassTable,
+    jemalloc_size_classes,
+    make_mallacc_jemalloc,
+)
+from repro.alloc.size_classes import SizeClassTable
+
+
+class TestSizeClassSchedule:
+    def test_four_classes_per_doubling(self):
+        """jemalloc's signature spacing: groups of four per power of two."""
+        sizes, _, _ = jemalloc_size_classes()
+        assert sizes[1:9] == [8, 16, 24, 32, 40, 48, 56, 64]
+        # 2^k group boundaries present throughout.
+        for power in (64, 128, 256, 1024, 4096, 65536):
+            assert power in sizes
+
+    def test_spacing_within_groups(self):
+        sizes, _, _ = jemalloc_size_classes()
+        # Between 128 and 256 the spacing is 32: 160, 192, 224, 256.
+        segment = [s for s in sizes if 128 < s <= 256]
+        assert segment == [160, 192, 224, 256]
+
+    def test_covers_small_range(self):
+        table = JemallocSizeClassTable.generate()
+        for size in (1, 8, 9, 100, 1000, 5000, K_MAX_SIZE):
+            cl = table.size_class_of(size)
+            assert table.alloc_size_of(cl) >= size
+
+    def test_rounding_minimal(self):
+        table = JemallocSizeClassTable.generate()
+        for size in (20, 21, 100, 300, 4097):
+            cl = table.size_class_of(size)
+            if cl > 1:
+                assert table.alloc_size_of(cl - 1) < size
+
+    def test_differs_from_tcmalloc(self):
+        """The two allocators genuinely disagree on rounding."""
+        je = JemallocSizeClassTable.generate()
+        tc = SizeClassTable.generate()
+        disagreements = sum(
+            1
+            for size in range(8, 4096, 8)
+            if je.alloc_size_of(je.size_class_of(size))
+            != tc.alloc_size_of(tc.size_class_of(size))
+        )
+        assert disagreements > 50
+
+    @given(st.integers(min_value=1, max_value=K_MAX_SIZE))
+    @settings(max_examples=150, deadline=None)
+    def test_property_rounding(self, size):
+        table = _TABLE
+        cl = table.size_class_of(size)
+        assert table.alloc_size_of(cl) >= size
+        if size > 16:
+            # jemalloc's bound: waste at most 25% (spacing = group/4).
+            assert table.alloc_size_of(cl) <= size + max(size // 3, 16)
+
+
+_TABLE = JemallocSizeClassTable.generate()
+
+
+class TestJemallocAllocator:
+    def test_roundtrip(self):
+        alloc = Jemalloc()
+        ptr, rec = alloc.malloc(100)
+        assert rec.size_class == alloc.table.size_class_of(100)
+        alloc.free(ptr)
+        alloc.check_conservation()
+
+    def test_fill_quarter_discipline(self):
+        """A tcache miss fills ncached_max/4 objects, not a slow-start 1."""
+        alloc = Jemalloc(config=AllocatorConfig(release_rate=0))
+        cl = alloc.table.size_class_of(64)
+        alloc.malloc(64)
+        fetched = alloc.thread_cache.stats.objects_fetched
+        assert fetched == max(1, alloc.thread_cache.lists[cl].max_length // 4)
+        assert fetched > 1  # unlike TCMalloc's slow start
+
+    def test_flush_three_quarters(self):
+        alloc = Jemalloc(config=AllocatorConfig(release_rate=0))
+        cl = alloc.table.size_class_of(64)
+        flist = alloc.thread_cache.lists[cl]
+        ptrs = [alloc.malloc(64)[0] for _ in range(8)]
+        flist.max_length = 4
+        for p in ptrs:
+            alloc.sized_free(p, 64)
+        # After an overflow, roughly a quarter of the bin remains.
+        assert flist.length <= 4
+
+    def test_fast_path_cost_comparable_to_tcmalloc(self):
+        alloc = Jemalloc()
+        for _ in range(60):
+            p, _ = alloc.malloc(64)
+            alloc.sized_free(p, 64)
+        _, rec = alloc.malloc(64)
+        assert 15 <= rec.cycles <= 30
+
+    def test_conservation_under_churn(self):
+        alloc = Jemalloc(config=AllocatorConfig(release_rate=0))
+        rng = random.Random(11)
+        live = []
+        for _ in range(300):
+            if live and rng.random() < 0.5:
+                alloc.free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(alloc.malloc(rng.choice([16, 24, 64, 160, 1024]))[0])
+        alloc.check_conservation()
+
+
+class TestMallaccGenerality:
+    """The paper's claim: the same hardware accelerates other allocators."""
+
+    def warm(self, alloc, n=60):
+        for _ in range(8):
+            held = [alloc.malloc(64)[0] for _ in range(4)]
+            for p in held:
+                alloc.sized_free(p, 64)
+        for _ in range(n):
+            p, _ = alloc.malloc(64)
+            alloc.sized_free(p, 64)
+
+    def test_mallacc_speeds_up_jemalloc(self):
+        base, accel = Jemalloc(), make_mallacc_jemalloc()
+        self.warm(base)
+        self.warm(accel)
+        _, rb = base.malloc(64)
+        _, ra = accel.malloc(64)
+        assert ra.cycles < rb.cycles
+        assert (rb.cycles - ra.cycles) / rb.cycles >= 0.2
+
+    def test_pointer_equivalence(self):
+        def run(factory):
+            alloc = factory()
+            rng = random.Random(5)
+            live, out = [], []
+            for _ in range(300):
+                if live and rng.random() < 0.45:
+                    alloc.sized_free(*live.pop(rng.randrange(len(live))))
+                else:
+                    size = rng.choice([16, 24, 64, 200, 1024])
+                    ptr, _ = alloc.malloc(size)
+                    live.append((ptr, size))
+                    out.append(ptr)
+            return out
+
+        assert run(Jemalloc) == run(make_mallacc_jemalloc)
+
+    def test_cache_invariants_hold(self):
+        accel = make_mallacc_jemalloc()
+        self.warm(accel)
+        accel.malloc_cache.check_invariants(accel.machine.memory)
+        assert accel.malloc_cache.sz_hit_rate > 0.8
+
+    def test_index_keying_disabled_for_foreign_allocator(self):
+        """The index-keyed mode is TCMalloc-specific (its class-index
+        function); raw-size mode works for jemalloc out of the box — the
+        paper's configuration register."""
+        from repro.core.malloc_cache import MallocCacheConfig
+
+        accel = make_mallacc_jemalloc(cache_config=MallocCacheConfig(index_keyed=False))
+        self.warm(accel)
+        assert accel.malloc_cache.sz_hit_rate > 0.5
+        accel.malloc_cache.check_invariants(accel.machine.memory)

@@ -1,0 +1,166 @@
+"""Tests for the page heap."""
+
+import pytest
+
+from repro.alloc.constants import AllocatorConfig, K_MIN_SYSTEM_ALLOC_PAGES
+from repro.alloc.context import Machine
+from repro.alloc.page_heap import PageHeap
+from repro.alloc.span import SpanState
+from repro.sim.uop import Tag, UopKind
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def heap(machine):
+    # Disable OS release so tests see pure split/coalesce behaviour.
+    return PageHeap(machine.address_space, AllocatorConfig(release_rate=0))
+
+
+class TestAllocate:
+    def test_first_allocation_grows_heap(self, heap, machine):
+        em = machine.new_emitter()
+        span = heap.allocate_span(em, 1)
+        assert span.num_pages == 1
+        assert span.state is SpanState.IN_USE
+        assert heap.stats.system_allocations == 1
+        # The growth emitted a syscall-cost uop.
+        assert any(u.kind is UopKind.FIXED and u.latency >= 1000 for u in em.build())
+
+    def test_growth_requests_minimum_batch(self, heap, machine):
+        heap.allocate_span(machine.new_emitter(), 1)
+        assert heap.stats.bytes_from_system == K_MIN_SYSTEM_ALLOC_PAGES * 8192
+
+    def test_split_leaves_remainder_free(self, heap, machine):
+        heap.allocate_span(machine.new_emitter(), 1)
+        assert heap.free_pages() == K_MIN_SYSTEM_ALLOC_PAGES - 1
+
+    def test_second_allocation_reuses_leftover(self, heap, machine):
+        heap.allocate_span(machine.new_emitter(), 1)
+        heap.allocate_span(machine.new_emitter(), 2)
+        assert heap.stats.system_allocations == 1
+
+    def test_spans_disjoint(self, heap, machine):
+        spans = [heap.allocate_span(machine.new_emitter(), 2) for _ in range(5)]
+        pages = set()
+        for s in spans:
+            for p in range(s.start_page, s.end_page):
+                assert p not in pages
+                pages.add(p)
+
+    def test_large_request_grows_enough(self, heap, machine):
+        span = heap.allocate_span(machine.new_emitter(), K_MIN_SYSTEM_ALLOC_PAGES * 2)
+        assert span.num_pages == K_MIN_SYSTEM_ALLOC_PAGES * 2
+
+    def test_invalid_request(self, heap, machine):
+        with pytest.raises(ValueError):
+            heap.allocate_span(machine.new_emitter(), 0)
+
+
+class TestFree:
+    def test_free_returns_pages(self, heap, machine):
+        em = machine.new_emitter()
+        span = heap.allocate_span(em, 4)
+        before = heap.free_pages()
+        heap.free_span(em, span)
+        assert heap.free_pages() == before + 4
+
+    def test_double_free_rejected(self, heap, machine):
+        em = machine.new_emitter()
+        span = heap.allocate_span(em, 1)
+        heap.free_span(em, span)
+        with pytest.raises(ValueError):
+            heap.free_span(em, span)
+
+    def test_coalesce_with_successor(self, heap, machine):
+        em = machine.new_emitter()
+        a = heap.allocate_span(em, 1)
+        heap.free_span(em, a)
+        # a coalesces with the big leftover span right after it.
+        assert heap.stats.spans_coalesced >= 1
+        assert heap.free_pages() == K_MIN_SYSTEM_ALLOC_PAGES
+
+    def test_coalesce_both_sides(self, heap, machine):
+        em = machine.new_emitter()
+        a = heap.allocate_span(em, 1)
+        b = heap.allocate_span(em, 1)
+        c = heap.allocate_span(em, 1)
+        heap.free_span(em, a)
+        heap.free_span(em, c)
+        heap.free_span(em, b)  # merges with both neighbours
+        heap.check_invariants()
+        assert heap.free_pages() == K_MIN_SYSTEM_ALLOC_PAGES
+
+    def test_no_coalesce_across_in_use(self, heap, machine):
+        em = machine.new_emitter()
+        a = heap.allocate_span(em, 1)
+        b = heap.allocate_span(em, 1)
+        heap.free_span(em, a)
+        heap.check_invariants()
+        assert b.state is SpanState.IN_USE
+
+    def test_reuse_after_free(self, heap, machine):
+        em = machine.new_emitter()
+        a = heap.allocate_span(em, 3)
+        start = a.start_page
+        heap.free_span(em, a)
+        b = heap.allocate_span(em, 3)
+        assert b.start_page == start  # first fit reuses the space
+
+
+class TestRelease:
+    def test_release_to_os(self, machine):
+        heap = PageHeap(machine.address_space, AllocatorConfig(release_rate=1))
+        em = machine.new_emitter()
+        span = heap.allocate_span(em, 1)
+        heap.free_span(em, span)  # triggers a release immediately
+        assert heap.stats.spans_released == 1
+        assert heap.stats.bytes_released > 0
+
+    def test_release_forces_future_growth(self, machine):
+        heap = PageHeap(machine.address_space, AllocatorConfig(release_rate=1))
+        em = machine.new_emitter()
+        span = heap.allocate_span(em, 1)
+        heap.free_span(em, span)
+        heap.allocate_span(em, K_MIN_SYSTEM_ALLOC_PAGES)
+        assert heap.stats.system_allocations == 2
+
+    def test_release_disabled(self, machine):
+        heap = PageHeap(machine.address_space, AllocatorConfig(release_rate=0))
+        em = machine.new_emitter()
+        span = heap.allocate_span(em, 1)
+        heap.free_span(em, span)
+        assert heap.stats.spans_released == 0
+
+
+class TestPagemap:
+    def test_span_of_addr(self, heap, machine):
+        span = heap.allocate_span(machine.new_emitter(), 2)
+        assert heap.span_of_addr(span.start_addr) is span
+        assert heap.span_of_addr(span.start_addr + span.length_bytes - 8) is span
+
+    def test_emit_pagemap_lookup_structure(self, heap, machine):
+        span = heap.allocate_span(machine.new_emitter(), 1)
+        em = machine.new_emitter()
+        found, uop = heap.emit_pagemap_lookup(em, span.start_addr)
+        trace = em.build()
+        assert found is span
+        loads = [i for i, u in enumerate(trace) if u.kind is UopKind.LOAD]
+        assert len(loads) == 2
+        # Leaf load depends on root load (radix walk).
+        assert loads[0] in trace.uops[loads[1]].deps
+        assert uop == loads[1]
+
+    def test_pagemap_lookup_tag_override(self, heap, machine):
+        span = heap.allocate_span(machine.new_emitter(), 1)
+        em = machine.new_emitter()
+        heap.emit_pagemap_lookup(em, span.start_addr, tag=Tag.SIZE_CLASS)
+        assert all(u.tag is Tag.SIZE_CLASS for u in em.build())
+
+    def test_unknown_address(self, heap, machine):
+        em = machine.new_emitter()
+        found, _ = heap.emit_pagemap_lookup(em, 0x9999_0000_0000)
+        assert found is None

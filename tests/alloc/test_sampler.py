@@ -1,0 +1,74 @@
+"""Tests for the software byte-countdown sampler."""
+
+import pytest
+
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.context import Machine
+from repro.alloc.sampler import Sampler
+from repro.sim.uop import Tag, UopKind
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+def make(machine, period=1024, enabled=True):
+    return Sampler(machine, AllocatorConfig(sample_parameter=period, sampling_enabled=enabled))
+
+
+class TestCheck:
+    def test_emits_countdown_work(self, machine):
+        s = make(machine)
+        em = machine.new_emitter()
+        s.emit_check(em, 64)
+        trace = em.build()
+        assert trace.count(UopKind.LOAD) == 1
+        assert trace.count(UopKind.BRANCH) == 1
+        assert trace.count(UopKind.STORE) == 1
+        assert all(u.tag is Tag.SAMPLING for u in trace)
+
+    def test_triggers_at_threshold(self, machine):
+        s = make(machine, period=128)
+        em = machine.new_emitter()
+        assert not s.emit_check(em, 64)
+        assert s.emit_check(em, 64)
+
+    def test_disabled_emits_nothing(self, machine):
+        s = make(machine, enabled=False)
+        em = machine.new_emitter()
+        assert not s.emit_check(em, 10**9)
+        assert len(em.build()) == 0
+
+    def test_large_request_samples_immediately(self, machine):
+        s = make(machine, period=100)
+        em = machine.new_emitter()
+        assert s.emit_check(em, 4096)
+
+
+class TestRecord:
+    def test_record_captures_and_resets(self, machine):
+        s = make(machine, period=128)
+        em = machine.new_emitter()
+        s.emit_check(em, 200)
+        s.record_sample(em, 200)
+        assert s.num_samples == 1
+        assert s.samples[0].size == 200
+        assert s.bytes_until_sample == 128
+
+    def test_record_costs_stack_trace(self, machine):
+        s = make(machine)
+        em = machine.new_emitter()
+        s.record_sample(em, 64)
+        fixed = [u for u in em.build() if u.kind is UopKind.FIXED]
+        assert fixed and fixed[0].latency >= 100
+
+    def test_sampling_rate_approximates_period(self, machine):
+        s = make(machine, period=1000)
+        em = machine.new_emitter()
+        samples = 0
+        for _ in range(100):
+            if s.emit_check(em, 100):
+                s.record_sample(em, 100)
+                samples += 1
+        assert samples == 10

@@ -1,0 +1,182 @@
+"""Tests for size-class generation and lookup."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.constants import (
+    K_CLASS_ARRAY_SIZE,
+    K_MAX_SIZE,
+    K_MAX_SMALL_SIZE,
+    K_PAGE_SIZE,
+)
+from repro.alloc.context import Machine
+from repro.alloc.size_classes import (
+    SizeClassTable,
+    alignment_for_size,
+    class_index,
+    lg_floor,
+    num_objects_to_move,
+)
+from repro.sim.uop import Tag, UopKind
+
+
+@pytest.fixture(scope="module")
+def table():
+    return SizeClassTable.generate()
+
+
+class TestHelpers:
+    def test_lg_floor(self):
+        assert lg_floor(1) == 0
+        assert lg_floor(2) == 1
+        assert lg_floor(1023) == 9
+        assert lg_floor(1024) == 10
+
+    def test_lg_floor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lg_floor(0)
+
+    def test_alignment_schedule(self):
+        assert alignment_for_size(8) == 8
+        assert alignment_for_size(16) == 16
+        assert alignment_for_size(127) == 16
+        assert alignment_for_size(128) == 16
+        assert alignment_for_size(256) == 32
+        assert alignment_for_size(1024) == 128
+        assert alignment_for_size(K_MAX_SIZE) == K_PAGE_SIZE  # capped at a page
+
+    def test_alignment_capped_at_page(self):
+        assert alignment_for_size(K_MAX_SIZE + 1) == K_PAGE_SIZE
+
+    def test_num_objects_to_move_bounds(self):
+        assert num_objects_to_move(0) == 0
+        assert num_objects_to_move(8) == 32  # capped
+        assert num_objects_to_move(64 * 1024) == 2  # floor
+        assert num_objects_to_move(4096) == 16
+
+    def test_class_index_formula(self):
+        # Figure 5: (size+7)>>3 below 1024, (size+15487)>>7 above.
+        assert class_index(8) == (8 + 7) >> 3
+        assert class_index(1024) == (1024 + 7) >> 3
+        assert class_index(1025) == (1025 + 15487) >> 7
+        assert class_index(K_MAX_SIZE) == (K_MAX_SIZE + 15487) >> 7
+
+    def test_class_index_range_errors(self):
+        with pytest.raises(ValueError):
+            class_index(-1)
+        with pytest.raises(ValueError):
+            class_index(K_MAX_SIZE + 1)
+
+    def test_class_array_size_slightly_above_2100(self):
+        """The paper: 'fixed at slightly above 2100 in 2007'."""
+        assert 2100 < K_CLASS_ARRAY_SIZE < 2200
+        assert class_index(K_MAX_SIZE) == K_CLASS_ARRAY_SIZE - 1
+
+
+class TestGeneration:
+    def test_class_count_near_88(self, table):
+        """The paper quotes 88 size classes; our gperftools-algorithm
+        regeneration lands within a few classes of that (revision drift)."""
+        assert 80 <= table.num_classes <= 96
+
+    def test_class_zero_reserved(self, table):
+        assert table.class_to_size[0] == 0
+        assert table.class_to_pages[0] == 0
+
+    def test_sizes_strictly_increasing(self, table):
+        sizes = table.class_to_size[1:]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_first_and_last_class(self, table):
+        assert table.class_to_size[1] == 16
+        assert table.class_to_size[-1] == K_MAX_SIZE
+
+    def test_sizes_honor_alignment(self, table):
+        for size in table.class_to_size[1:]:
+            assert size % alignment_for_size(size) == 0 or size < 16
+
+    def test_span_waste_bounded(self, table):
+        """Span leftover is less than 1/8 of the span (the generation
+        invariant)."""
+        for cl in range(1, table.num_classes):
+            span_bytes = table.class_to_pages[cl] * K_PAGE_SIZE
+            waste = span_bytes % table.class_to_size[cl]
+            assert waste <= span_bytes >> 3
+
+    def test_spans_hold_enough_for_transfers(self, table):
+        for cl in range(1, table.num_classes):
+            objects = table.objects_per_span(cl)
+            assert objects >= num_objects_to_move(table.class_to_size[cl]) // 4
+
+    def test_batch_sizes_recorded(self, table):
+        for cl in range(1, table.num_classes):
+            assert table.batch_size_of(cl) == num_objects_to_move(table.class_to_size[cl])
+
+
+class TestLookup:
+    def test_every_small_size_covered(self, table):
+        for size in range(1, 2049):
+            cl = table.size_class_of(size)
+            assert cl > 0
+            assert table.alloc_size_of(cl) >= size
+
+    def test_rounding_is_minimal(self, table):
+        """The assigned class is the smallest one that fits."""
+        for size in (1, 8, 16, 17, 100, 1024, 1025, 8192, K_MAX_SIZE):
+            cl = table.size_class_of(size)
+            assert table.alloc_size_of(cl) >= size
+            if cl > 1:
+                assert table.alloc_size_of(cl - 1) < size
+
+    def test_exact_class_sizes_map_to_themselves(self, table):
+        for cl in range(1, table.num_classes):
+            size = table.class_to_size[cl]
+            assert table.size_class_of(size) == cl
+
+    @given(st.integers(min_value=1, max_value=K_MAX_SIZE))
+    @settings(max_examples=300, deadline=None)
+    def test_property_rounding(self, size):
+        table = _SHARED_TABLE
+        cl = table.size_class_of(size)
+        assert 0 < cl < table.num_classes
+        assert table.alloc_size_of(cl) >= size
+        # Fragmentation bound: TCMalloc wastes at most ~12.5% + alignment.
+        if size > 16:
+            assert table.alloc_size_of(cl) <= size + max(size // 4, 128)
+
+    @given(st.integers(min_value=1, max_value=K_MAX_SMALL_SIZE - 8))
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone(self, size):
+        table = _SHARED_TABLE
+        assert table.size_class_of(size) <= table.size_class_of(size + 8)
+
+
+_SHARED_TABLE = SizeClassTable.generate()
+
+
+class TestTimedLookup:
+    def test_emit_lookup_structure(self):
+        machine = Machine()
+        table = SizeClassTable.generate(machine.address_space)
+        em = machine.new_emitter()
+        lookup = table.emit_lookup(em, 64)
+        trace = em.build()
+        # Two ALU (index compute) + two dependent loads, all SIZE_CLASS.
+        assert trace.count(UopKind.ALU) == 2
+        assert trace.count(UopKind.LOAD) == 2
+        assert all(u.tag is Tag.SIZE_CLASS for u in trace)
+        assert trace.uops[lookup.size_uop].deps == (lookup.cls_uop,)
+        assert lookup.size_class == table.size_class_of(64)
+        assert lookup.alloc_size == table.alloc_size_of(lookup.size_class)
+
+    def test_lookup_addresses_distinct_tables(self):
+        machine = Machine()
+        table = SizeClassTable.generate(machine.address_space)
+        em = machine.new_emitter()
+        lookup = table.emit_lookup(em, 64)
+        trace = em.build()
+        addrs = [u.addr for u in trace if u.kind is UopKind.LOAD]
+        assert addrs[0] != addrs[1]
+        assert table.class_array_addr <= addrs[0] < table.class_to_size_addr
+        del lookup

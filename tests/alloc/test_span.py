@@ -1,0 +1,77 @@
+"""Tests for spans and the span set."""
+
+import pytest
+
+from repro.alloc.constants import K_PAGE_SIZE
+from repro.alloc.span import Span, SpanSet, SpanState
+
+
+class TestSpan:
+    def test_geometry(self):
+        s = Span(start_page=10, num_pages=4)
+        assert s.start_addr == 10 * K_PAGE_SIZE
+        assert s.length_bytes == 4 * K_PAGE_SIZE
+        assert s.end_page == 14
+
+    def test_contains_page(self):
+        s = Span(start_page=10, num_pages=4)
+        assert s.contains_page(10) and s.contains_page(13)
+        assert not s.contains_page(9) and not s.contains_page(14)
+
+    def test_split(self):
+        s = Span(start_page=10, num_pages=4)
+        rest = s.split(1)
+        assert s.num_pages == 1 and s.start_page == 10
+        assert rest.start_page == 11 and rest.num_pages == 3
+
+    def test_split_bounds(self):
+        s = Span(start_page=0, num_pages=2)
+        with pytest.raises(ValueError):
+            s.split(0)
+        with pytest.raises(ValueError):
+            s.split(2)
+
+    def test_default_state_free(self):
+        assert Span(0, 1).state is SpanState.ON_NORMAL_FREELIST
+
+
+class TestSpanSet:
+    def test_register_boundaries(self):
+        ss = SpanSet()
+        s = Span(start_page=10, num_pages=4)
+        ss.register(s)
+        assert ss.span_of_page(10) is s
+        assert ss.span_of_page(13) is s
+        assert ss.span_of_page(11) is None  # interior unmapped by default
+
+    def test_register_interior_maps_every_page(self):
+        ss = SpanSet()
+        s = Span(start_page=10, num_pages=4)
+        ss.register(s)
+        ss.register_interior(s)
+        assert all(ss.span_of_page(p) is s for p in range(10, 14))
+
+    def test_unregister(self):
+        ss = SpanSet()
+        s = Span(start_page=10, num_pages=2)
+        ss.register(s)
+        ss.register_interior(s)
+        ss.unregister(s)
+        assert ss.span_of_page(10) is None
+        assert s not in ss.spans
+
+    def test_unregister_preserves_other_spans(self):
+        ss = SpanSet()
+        a = Span(start_page=0, num_pages=2)
+        b = Span(start_page=2, num_pages=2)
+        ss.register(a)
+        ss.register(b)
+        ss.unregister(a)
+        assert ss.span_of_page(2) is b
+        assert ss.span_of_page(3) is b
+
+    def test_single_page_span(self):
+        ss = SpanSet()
+        s = Span(start_page=5, num_pages=1)
+        ss.register(s)
+        assert ss.span_of_page(5) is s

@@ -1,0 +1,148 @@
+"""Tests for the thread cache and its heuristics."""
+
+import pytest
+
+from repro.alloc.central_cache import CentralFreeList
+from repro.alloc.constants import AllocatorConfig, K_MAX_DYNAMIC_FREE_LIST_LENGTH
+from repro.alloc.context import Machine
+from repro.alloc.page_heap import PageHeap
+from repro.alloc.size_classes import SizeClassTable
+from repro.alloc.thread_cache import ThreadCache
+
+
+def build(max_cache_size=2 * 1024 * 1024):
+    machine = Machine()
+    config = AllocatorConfig(release_rate=0, max_thread_cache_size=max_cache_size)
+    table = SizeClassTable.generate(machine.address_space)
+    heap = PageHeap(machine.address_space, config)
+    central = [
+        CentralFreeList(c, table, heap, config) for c in range(table.num_classes)
+    ]
+    tc = ThreadCache(machine, table, central, config)
+    return machine, table, central, tc
+
+
+def lookup_uop(machine):
+    """A stand-in uop the allocate/deallocate APIs can depend on."""
+    em = machine.new_emitter()
+    return em, em.alu()
+
+
+class TestAllocate:
+    def test_first_allocation_misses(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        em, uop = lookup_uop(machine)
+        ptr, fast = tc.allocate(em, cl, uop)
+        assert not fast
+        assert ptr > 0
+        assert tc.stats.fetches == 1
+
+    def test_slow_start_fetches_one_then_grows(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        em, uop = lookup_uop(machine)
+        tc.allocate(em, cl, uop)
+        assert tc.stats.objects_fetched == 1  # max_length started at 1
+        # List is now empty again; next allocate fetches 2.
+        em, uop = lookup_uop(machine)
+        tc.allocate(em, cl, uop)
+        assert tc.stats.objects_fetched == 3
+
+    def test_max_length_growth_beyond_batch(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        flist = tc.lists[cl]
+        batch = table.batch_size_of(cl)
+        flist.max_length = batch  # past slow start
+        em, uop = lookup_uop(machine)
+        tc.allocate(em, cl, uop)
+        assert flist.max_length == 2 * batch
+        assert flist.max_length <= K_MAX_DYNAMIC_FREE_LIST_LENGTH
+
+    def test_hit_after_fill(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        em, uop = lookup_uop(machine)
+        tc.allocate(em, cl, uop)
+        em, uop = lookup_uop(machine)
+        tc.allocate(em, cl, uop)  # fetch of 2, one left
+        em, uop = lookup_uop(machine)
+        ptr, fast = tc.allocate(em, cl, uop)
+        assert fast
+
+    def test_size_accounting(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        em, uop = lookup_uop(machine)
+        tc.allocate(em, cl, uop)
+        # Fetched 1, allocated 1: cache holds zero bytes.
+        assert tc.size_bytes == 0
+
+
+class TestDeallocate:
+    def test_push_is_fast(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        em, uop = lookup_uop(machine)
+        ptr, _ = tc.allocate(em, cl, uop)
+        em, uop = lookup_uop(machine)
+        assert tc.deallocate(em, cl, ptr, uop)
+        assert tc.lists[cl].length == 1
+
+    def test_list_too_long_releases_batch(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        flist = tc.lists[cl]
+        em, uop = lookup_uop(machine)
+        ptrs = [tc.allocate(em, cl, uop)[0] for _ in range(8)]
+        flist.max_length = 3
+        fast = True
+        for p in ptrs:
+            em, uop = lookup_uop(machine)
+            fast = tc.deallocate(em, cl, p, uop)
+        assert tc.stats.releases >= 1
+        assert not fast or flist.length <= flist.max_length
+
+    def test_scavenge_on_cache_size(self):
+        machine, table, central, tc = build(max_cache_size=512)
+        cl = table.size_class_of(64)
+        em, uop = lookup_uop(machine)
+        ptrs = [tc.allocate(em, cl, uop)[0] for _ in range(12)]
+        # Keep ListTooLong out of the way so bytes accumulate to the cap.
+        tc.lists[cl].max_length = 1000
+        for p in ptrs:
+            em, uop = lookup_uop(machine)
+            tc.deallocate(em, cl, p, uop)
+        assert tc.stats.scavenges >= 1
+        assert tc.size_bytes < 512
+
+    def test_objects_return_to_central(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(64)
+        flist = tc.lists[cl]
+        em, uop = lookup_uop(machine)
+        ptrs = [tc.allocate(em, cl, uop)[0] for _ in range(6)]
+        flist.max_length = 2
+        before = central[cl].num_free_objects
+        for p in ptrs:
+            em, uop = lookup_uop(machine)
+            tc.deallocate(em, cl, p, uop)
+        assert central[cl].num_free_objects > before
+
+    def test_total_objects(self):
+        machine, table, central, tc = build()
+        cl = table.size_class_of(32)
+        em, uop = lookup_uop(machine)
+        ptr, _ = tc.allocate(em, cl, uop)
+        em, uop = lookup_uop(machine)
+        tc.deallocate(em, cl, ptr, uop)
+        assert tc.total_objects() == tc.lists[cl].length
+
+
+class TestHeaderLayout:
+    def test_one_cache_line_per_class(self):
+        machine, table, central, tc = build()
+        headers = [fl.header_addr for fl in tc.lists]
+        assert all(b - a == 64 for a, b in zip(headers, headers[1:]))
+        assert headers[0] % 64 == 0

@@ -1,0 +1,131 @@
+"""Tests for the transfer cache (whole-batch recycling)."""
+
+import random
+
+import pytest
+
+from repro.alloc import AllocatorConfig, TCMalloc
+from repro.alloc.context import Machine
+from repro.alloc.transfer_cache import K_TRANSFER_SLOTS, TransferCache
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+def tc(batch=4, slots=K_TRANSFER_SLOTS):
+    return TransferCache(size_class=3, batch_size=batch, num_slots=slots)
+
+
+def batch_of(n, base=0x1000):
+    return [base + i * 64 for i in range(n)]
+
+
+class TestSlots:
+    def test_roundtrip_preserves_batch(self, machine):
+        cache = tc()
+        em = machine.new_emitter()
+        original = batch_of(4)
+        assert cache.try_insert(em, original)
+        out = cache.try_remove(em, 4)
+        assert out == original
+
+    def test_partial_batch_rejected(self, machine):
+        cache = tc(batch=4)
+        em = machine.new_emitter()
+        assert not cache.try_insert(em, batch_of(3))
+        assert cache.parked_objects == 0
+
+    def test_partial_request_misses(self, machine):
+        cache = tc(batch=4)
+        em = machine.new_emitter()
+        cache.try_insert(em, batch_of(4))
+        assert cache.try_remove(em, 2) is None
+        assert cache.stats.remove_misses == 1
+
+    def test_capacity_limit(self, machine):
+        cache = tc(batch=2, slots=2)
+        em = machine.new_emitter()
+        assert cache.try_insert(em, batch_of(2, 0x1000))
+        assert cache.try_insert(em, batch_of(2, 0x2000))
+        assert not cache.try_insert(em, batch_of(2, 0x3000))
+        assert cache.stats.insert_overflows == 1
+
+    def test_lifo_order(self, machine):
+        cache = tc(batch=2)
+        em = machine.new_emitter()
+        cache.try_insert(em, batch_of(2, 0x1000))
+        cache.try_insert(em, batch_of(2, 0x2000))
+        assert cache.try_remove(em, 2)[0] == 0x2000
+
+    def test_empty_remove_misses(self, machine):
+        cache = tc()
+        assert cache.try_remove(machine.new_emitter(), 4) is None
+
+    def test_drain(self, machine):
+        cache = tc(batch=2)
+        em = machine.new_emitter()
+        cache.try_insert(em, batch_of(2, 0x1000))
+        cache.try_insert(em, batch_of(2, 0x2000))
+        drained = cache.drain()
+        assert len(drained) == 2
+        assert cache.parked_objects == 0
+
+
+class TestIntegration:
+    def test_batches_recycle_through_transfer_cache(self):
+        """Once slow start has grown max_length past the batch size (the
+        steady state of a busy process), overflow releases park whole
+        batches and later fetches reuse them without touching spans."""
+        alloc = TCMalloc(config=AllocatorConfig(release_rate=0))
+        cl = alloc.table.size_class_of(64)
+        batch = alloc.table.batch_size_of(cl)
+        flist = alloc.thread_cache.lists[cl]
+
+        held = [alloc.malloc(64)[0] for _ in range(batch + 8)]
+        flist.max_length = batch  # steady-state bound, past slow start
+        for p in held:
+            alloc.sized_free(p, 64)  # overflows release one full batch
+        stats = alloc.central_lists[cl].transfer.stats
+        assert stats.batch_inserts >= 1
+
+        # Drain the thread list, then force a full-batch fetch: it must be
+        # served from the parked batch.
+        for _ in range(flist.length):
+            alloc.malloc(64)
+        alloc.malloc(64)
+        assert stats.batch_removes >= 1
+        alloc.check_conservation()
+
+    def test_transfer_hit_cheaper_than_span_walk(self):
+        """A batch fetch served from the transfer cache skips the
+        per-object span pops."""
+        alloc = TCMalloc(config=AllocatorConfig(release_rate=0))
+        cl = alloc.table.size_class_of(64)
+        batch = alloc.table.batch_size_of(cl)
+        central = alloc.central_lists[cl]
+
+        em = alloc.machine.new_emitter()
+        taken = central.remove_range(em, batch)  # from a fresh span
+        span_uops = len(em.build())
+
+        em2 = alloc.machine.new_emitter()
+        central.insert_range(em2, taken)  # parks the batch
+        em3 = alloc.machine.new_emitter()
+        again = central.remove_range(em3, batch)
+        transfer_uops = len(em3.build())
+        assert again == taken
+        assert transfer_uops < span_uops / 3
+
+    def test_no_object_duplication(self):
+        alloc = TCMalloc(config=AllocatorConfig(release_rate=0))
+        cl = alloc.table.size_class_of(64)
+        batch = alloc.table.batch_size_of(cl)
+        central = alloc.central_lists[cl]
+        em = alloc.machine.new_emitter()
+        taken = central.remove_range(em, batch)
+        central.insert_range(em, taken)
+        a = central.remove_range(em, batch)
+        b = central.remove_range(em, batch)
+        assert not set(a) & set(b)

@@ -1,0 +1,191 @@
+"""Tests for MallaccTCMalloc: the accelerated fast path."""
+
+import pytest
+
+from repro.alloc import AllocatorConfig, Path, TCMalloc
+from repro.core import MallaccTCMalloc, MallocCacheConfig
+
+
+def warm(alloc, size=64, n=40, depth=4, rounds=8):
+    """Warm like a long-running process: repeated alloc/free rounds grow
+    max_length (slow start) so the free list keeps a standing depth."""
+    for _ in range(rounds):
+        held = [alloc.malloc(size)[0] for _ in range(depth)]
+        for p in held:
+            alloc.sized_free(p, size)
+    for _ in range(n):
+        p, _ = alloc.malloc(size)
+        alloc.sized_free(p, size)
+
+
+class TestFunctionalEquivalence:
+    def test_identical_pointer_stream_to_baseline(self):
+        """Mallacc is a performance optimization only: the pointers handed
+        out must be exactly those stock TCMalloc would hand out."""
+        import random
+
+        def run(cls):
+            alloc = cls(config=AllocatorConfig(release_rate=0))
+            rng = random.Random(42)
+            live, out = [], []
+            for _ in range(400):
+                if live and rng.random() < 0.45:
+                    alloc.sized_free(*live.pop(rng.randrange(len(live))))
+                else:
+                    size = rng.choice([16, 32, 64, 200, 1024])
+                    ptr, _ = alloc.malloc(size)
+                    live.append((ptr, size))
+                    out.append(ptr)
+            return out
+
+        assert run(TCMalloc) == run(MallaccTCMalloc)
+
+    def test_consistency_invariants_after_churn(self):
+        import random
+
+        alloc = MallaccTCMalloc()
+        rng = random.Random(3)
+        live = []
+        for _ in range(500):
+            if live and rng.random() < 0.5:
+                alloc.free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(alloc.malloc(rng.choice([16, 48, 64, 128, 512]))[0])
+        alloc.malloc_cache.check_invariants(alloc.machine.memory)
+        alloc.check_conservation()
+
+
+class TestSpeedup:
+    def test_warm_fast_path_faster_than_baseline(self):
+        base, accel = TCMalloc(), MallaccTCMalloc()
+        warm(base)
+        warm(accel)
+        _, rb = base.malloc(64)
+        _, ra = accel.malloc(64)
+        assert rb.path is Path.FAST and ra.path is Path.FAST
+        assert ra.cycles < rb.cycles
+
+    def test_speedup_up_to_50_percent(self):
+        """The abstract's headline: malloc latency reduced by up to 50%."""
+        base, accel = TCMalloc(), MallaccTCMalloc()
+        warm(base, n=100)
+        warm(accel, n=100)
+        rb = base.malloc(64)[1]
+        ra = accel.malloc(64)[1]
+        reduction = (rb.cycles - ra.cycles) / rb.cycles
+        assert 0.25 <= reduction <= 0.6
+
+    def test_sampling_leaves_fast_path(self):
+        accel = MallaccTCMalloc()
+        warm(accel)
+        _, rec = accel.malloc(64)
+        # Baseline sampling would emit SAMPLING-tagged uops; Mallacc none.
+        base = TCMalloc()
+        warm(base)
+        _, rb = base.malloc(64)
+        assert rec.num_uops < rb.num_uops
+
+    def test_sampling_still_samples(self):
+        accel = MallaccTCMalloc(config=AllocatorConfig(sample_parameter=2048))
+        for _ in range(64):
+            accel.malloc(128)
+        assert accel.pmu.num_samples >= 2
+
+    def test_free_also_faster_with_sized_delete(self):
+        base, accel = TCMalloc(), MallaccTCMalloc()
+        warm(base)
+        warm(accel)
+        pb, _ = base.malloc(64)
+        pa, _ = accel.malloc(64)
+        rb = base.sized_free(pb, 64)
+        ra = accel.sized_free(pa, 64)
+        assert ra.cycles <= rb.cycles
+
+
+class TestCacheBehaviour:
+    def test_size_class_hits_after_warmup(self):
+        accel = MallaccTCMalloc()
+        warm(accel, n=50)
+        assert accel.malloc_cache.sz_hit_rate > 0.9
+
+    def test_pop_hits_with_standing_depth(self):
+        accel = MallaccTCMalloc()
+        warm(accel, n=50, depth=4)
+        stats = accel.malloc_cache.stats
+        assert stats.pop_hits > 0
+
+    def test_cold_cache_falls_back_to_software(self):
+        accel = MallaccTCMalloc()
+        ptr, rec = accel.malloc(64)
+        assert ptr > 0  # fallback path functioned
+        assert accel.malloc_cache.stats.sz_misses >= 1
+
+    def test_small_cache_evicts_across_classes(self):
+        accel = MallaccTCMalloc(cache_config=MallocCacheConfig(num_entries=2))
+        for size in (16, 32, 64, 128, 256, 512):
+            p, _ = accel.malloc(size)
+            accel.sized_free(p, size)
+        assert accel.malloc_cache.stats.evictions > 0
+
+    def test_context_switch_flush_is_safe(self):
+        accel = MallaccTCMalloc()
+        warm(accel)
+        accel.context_switch()
+        p, rec = accel.malloc(64)
+        assert rec.path is Path.FAST  # thread cache unaffected
+        accel.sized_free(p, 64)
+        accel.malloc_cache.check_invariants(accel.machine.memory)
+
+    def test_non_sized_free_uses_pagemap_not_cache(self):
+        accel = MallaccTCMalloc()
+        warm(accel)
+        hits_before = accel.malloc_cache.stats.sz_hits
+        p, _ = accel.malloc(64)  # one lookup
+        accel.free(p)  # non-sized: no szlookup
+        assert accel.malloc_cache.stats.sz_hits == hits_before + 1
+
+
+class TestPrefetchBlocking:
+    def test_tight_loop_can_block(self):
+        """The Figure 17 tp effect: back-to-back ops on one class arrive
+        inside the prefetch window and stall."""
+        accel = MallaccTCMalloc()
+        # Standing depth so pops hit and prefetches fire.
+        held = [accel.malloc(64)[0] for _ in range(6)]
+        for p in held:
+            accel.sized_free(p, 64)
+        for _ in range(60):
+            p, _ = accel.malloc(64)
+            accel.sized_free(p, 64)
+        assert accel.malloc_cache.stats.prefetches > 0
+
+    def test_blocking_disabled_never_stalls(self):
+        accel = MallaccTCMalloc(
+            cache_config=MallocCacheConfig(prefetch_blocking=False)
+        )
+        held = [accel.malloc(64)[0] for _ in range(6)]
+        for p in held:
+            accel.sized_free(p, 64)
+        for _ in range(60):
+            p, _ = accel.malloc(64)
+            accel.sized_free(p, 64)
+        assert accel.malloc_cache.stats.blocked_cycles == 0
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("entries", [2, 8, 16, 32])
+    def test_all_sizes_functional(self, entries):
+        accel = MallaccTCMalloc(cache_config=MallocCacheConfig(num_entries=entries))
+        warm(accel, n=20)
+        accel.malloc_cache.check_invariants(accel.machine.memory)
+
+    def test_raw_size_keying_mode(self):
+        accel = MallaccTCMalloc(cache_config=MallocCacheConfig(index_keyed=False))
+        warm(accel, n=20)
+        assert accel.malloc_cache.sz_hit_rate > 0.5
+
+    def test_head_only_mode(self):
+        accel = MallaccTCMalloc(cache_config=MallocCacheConfig(cache_next=False))
+        warm(accel, n=30)
+        accel.malloc_cache.check_invariants(accel.machine.memory)
+        accel.check_conservation()

@@ -1,0 +1,94 @@
+"""Property-based tests for Mallacc correctness (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import AllocatorConfig, TCMalloc
+from repro.core import MallaccTCMalloc, MallocCacheConfig
+
+SIZES = st.sampled_from([8, 16, 32, 48, 64, 128, 256, 1024, 4096])
+
+
+def replay(cls, seed, ops, **kwargs):
+    alloc = cls(config=AllocatorConfig(release_rate=0), **kwargs)
+    rng = random.Random(seed)
+    live, ptrs = [], []
+    for size in ops:
+        if live and rng.random() < 0.5:
+            ptr, psize = live.pop(rng.randrange(len(live)))
+            if rng.random() < 0.5:
+                alloc.sized_free(ptr, psize)
+            else:
+                alloc.free(ptr)
+        else:
+            ptr, _ = alloc.malloc(size)
+            live.append((ptr, size))
+            ptrs.append(ptr)
+    return alloc, ptrs
+
+
+@given(st.integers(0, 10_000), st.lists(SIZES, min_size=1, max_size=60))
+@settings(max_examples=25, deadline=None)
+def test_mallacc_pointer_equivalence(seed, ops):
+    """For any op sequence, Mallacc returns exactly the baseline pointers."""
+    _, base_ptrs = replay(TCMalloc, seed, ops)
+    _, accel_ptrs = replay(MallaccTCMalloc, seed, ops)
+    assert base_ptrs == accel_ptrs
+
+
+@given(st.integers(0, 10_000), st.lists(SIZES, min_size=1, max_size=60))
+@settings(max_examples=25, deadline=None)
+def test_malloc_cache_invariants_always_hold(seed, ops):
+    alloc, _ = replay(MallaccTCMalloc, seed, ops)
+    alloc.malloc_cache.check_invariants(alloc.machine.memory)
+    alloc.check_conservation()
+
+
+@given(
+    st.integers(0, 1_000),
+    st.lists(SIZES, min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=20, deadline=None)
+def test_any_cache_size_is_correct(seed, ops, entries):
+    alloc, ptrs = replay(
+        MallaccTCMalloc, seed, ops, cache_config=MallocCacheConfig(num_entries=entries)
+    )
+    _, base_ptrs = replay(TCMalloc, seed, ops)
+    assert ptrs == base_ptrs
+    alloc.malloc_cache.check_invariants(alloc.machine.memory)
+
+
+@given(st.integers(0, 1_000), st.lists(SIZES, min_size=1, max_size=40))
+@settings(max_examples=15, deadline=None)
+def test_head_only_and_raw_keying_modes_correct(seed, ops):
+    for cfg in (
+        MallocCacheConfig(cache_next=False),
+        MallocCacheConfig(index_keyed=False),
+        MallocCacheConfig(prefetch_blocking=False),
+        MallocCacheConfig(eviction="fifo", num_entries=4),
+    ):
+        alloc, ptrs = replay(MallaccTCMalloc, seed, ops, cache_config=cfg)
+        _, base_ptrs = replay(TCMalloc, seed, ops)
+        assert ptrs == base_ptrs
+        alloc.malloc_cache.check_invariants(alloc.machine.memory)
+
+
+@given(st.lists(SIZES, min_size=4, max_size=40))
+@settings(max_examples=15, deadline=None)
+def test_flush_anywhere_preserves_correctness(ops):
+    """Context switches may flush the malloc cache at any point."""
+    alloc = MallaccTCMalloc(config=AllocatorConfig(release_rate=0))
+    live = []
+    for i, size in enumerate(ops):
+        ptr, _ = alloc.malloc(size)
+        live.append((ptr, size))
+        if i % 3 == 2:
+            alloc.context_switch()
+        if len(live) > 2:
+            p, s = live.pop(0)
+            alloc.sized_free(p, s)
+    alloc.malloc_cache.check_invariants(alloc.machine.memory)
+    alloc.check_conservation()

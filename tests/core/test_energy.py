@@ -1,0 +1,89 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.alloc import TCMalloc
+from repro.core import MallaccTCMalloc
+from repro.core.energy import (
+    DRAM_PJ,
+    L1_HIT_PJ,
+    EnergyMeter,
+    cam_search_energy,
+    trace_energy,
+)
+from repro.core.malloc_cache import MallocCacheConfig
+from repro.sim.uop import Tag, TraceBuilder
+
+
+class TestTraceEnergy:
+    def test_alu_only(self):
+        tb = TraceBuilder()
+        tb.alu()
+        tb.alu()
+        e = trace_energy(tb.build())
+        assert e.compute_pj == pytest.approx(1.0)
+        assert e.total_pj == e.compute_pj
+
+    def test_load_energy_by_level(self):
+        tb = TraceBuilder()
+        tb.load(0x1000, latency=4)  # L1
+        tb.load(0x2000, latency=200)  # DRAM
+        e = trace_energy(tb.build())
+        assert e.load_pj == pytest.approx(L1_HIT_PJ + DRAM_PJ)
+
+    def test_mallacc_op_costs_cam_search(self):
+        tb = TraceBuilder()
+        tb.mallacc(3)
+        cfg = MallocCacheConfig(num_entries=16)
+        e = trace_energy(tb.build(), cfg)
+        assert e.mallacc_pj == pytest.approx(cam_search_energy(cfg))
+
+    def test_cam_search_cheaper_than_l1(self):
+        """The energy trade that makes the accelerator worthwhile."""
+        assert cam_search_energy(MallocCacheConfig(num_entries=16)) < L1_HIT_PJ
+        assert cam_search_energy(MallocCacheConfig(num_entries=32)) < 2 * L1_HIT_PJ
+
+    def test_cam_energy_scales_with_entries(self):
+        assert cam_search_energy(MallocCacheConfig(num_entries=32)) > cam_search_energy(
+            MallocCacheConfig(num_entries=8)
+        )
+
+    def test_fixed_blocks_charged_by_latency(self):
+        tb = TraceBuilder()
+        tb.fixed(1000, tag=Tag.SLOW_PATH)
+        e = trace_energy(tb.build())
+        assert e.fixed_pj == pytest.approx(2000.0)
+
+
+class TestEnergyMeter:
+    def _steady(self, alloc, pairs=80):
+        for _ in range(8):
+            held = [alloc.malloc(64)[0] for _ in range(4)]
+            for p in held:
+                alloc.sized_free(p, 64)
+        meter = EnergyMeter(alloc)
+        for _ in range(pairs):
+            p, _ = alloc.malloc(64)
+            alloc.sized_free(p, 64)
+        meter.detach()
+        return meter
+
+    def test_meter_counts_calls(self):
+        meter = self._steady(TCMalloc(), pairs=10)
+        assert meter.calls == 20
+        assert meter.total_pj > 0
+
+    def test_mallacc_saves_energy_on_fast_path(self):
+        """Removing two table loads and two list loads saves more energy
+        than the CAM probes cost."""
+        base = self._steady(TCMalloc())
+        accel = self._steady(MallaccTCMalloc())
+        assert accel.mean_pj_per_call < base.mean_pj_per_call
+
+    def test_detach_restores(self):
+        alloc = TCMalloc()
+        meter = EnergyMeter(alloc)
+        meter.detach()
+        before = meter.calls
+        alloc.malloc(64)
+        assert meter.calls == before

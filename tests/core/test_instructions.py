@@ -1,0 +1,122 @@
+"""Tests for the five-instruction ISA layer."""
+
+import pytest
+
+from repro.alloc.context import Machine
+from repro.core.instructions import MallaccISA
+from repro.core.malloc_cache import MallocCache, MallocCacheConfig
+from repro.sim.memory import NULL
+from repro.sim.uop import UopKind
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def isa():
+    return MallaccISA(cache=MallocCache(MallocCacheConfig()))
+
+
+class TestSzInstructions:
+    def test_lookup_miss_sets_zf_clear(self, machine, isa):
+        em = machine.new_emitter()
+        out = isa.mcszlookup(em, 64)
+        assert not out.hit
+        trace = em.build()
+        assert trace.count(UopKind.MALLACC) == 1
+        assert trace.count(UopKind.BRANCH) == 1
+
+    def test_lookup_latency_matches_config(self, machine, isa):
+        em = machine.new_emitter()
+        isa.mcszlookup(em, 64)
+        mallacc = [u for u in em.build() if u.kind is UopKind.MALLACC]
+        assert mallacc[0].latency == isa.cache.config.lookup_latency
+
+    def test_update_then_hit(self, machine, isa):
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        out = isa.mcszlookup(em, 64)
+        assert out.hit and out.size_class == 5 and out.alloc_size == 64
+
+    def test_update_emits_single_cycle_uop(self, machine, isa):
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        assert em.build().uops[0].latency == 1
+
+
+class TestListInstructions:
+    def test_pop_miss(self, machine, isa):
+        isa.begin_call()
+        em = machine.new_emitter()
+        out = isa.mchdpop(em, 5)
+        assert not out.hit and out.head == NULL
+
+    def test_push_then_push_then_pop_hit(self, machine, isa):
+        isa.begin_call()
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        isa.mchdpush(em, 5, 0x1000)
+        isa.mchdpush(em, 5, 0x2000)
+        out = isa.mchdpop(em, 5)
+        assert out.hit and out.head == 0x2000 and out.next_ptr == 0x1000
+
+    def test_ordering_register_serializes_list_ops(self, machine, isa):
+        isa.begin_call()
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        _, _, push1 = isa.mchdpush(em, 5, 0x1000)
+        _, _, push2 = isa.mchdpush(em, 5, 0x2000)
+        out = isa.mchdpop(em, 5)
+        trace = em.build()
+        assert push1 in trace.uops[push2].deps
+        assert push2 in trace.uops[out.uop].deps
+
+    def test_begin_call_resets_ordering(self, machine, isa):
+        isa.begin_call()
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        isa.mchdpush(em, 5, 0x1000)
+        isa.begin_call()
+        em2 = machine.new_emitter()
+        out = isa.mchdpop(em2, 5)
+        assert em2.build().uops[out.uop].deps == ()
+
+
+class TestPrefetchInstruction:
+    def test_prefetch_null_is_noop(self, machine, isa):
+        isa.begin_call()
+        em = machine.new_emitter()
+        assert isa.mcnxtprefetch(em, 5, NULL) is None
+        assert len(em.build()) == 0
+
+    def test_prefetch_emits_async_uop_and_fills(self, machine, isa):
+        machine.memory.write_word(0x1000, 0x2000)
+        isa.begin_call()
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        uop = isa.mcnxtprefetch(em, 5, 0x1000)
+        assert uop is not None
+        trace = em.build()
+        assert trace.uops[uop].kind is UopKind.PREFETCH
+        entry = isa.cache._find_class(5)
+        assert entry.head == 0x1000 and entry.next == 0x2000
+
+    def test_prefetch_sets_blocking_window(self, machine, isa):
+        machine.memory.write_word(0x1000, 0x2000)
+        isa.begin_call()
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        isa.mcnxtprefetch(em, 5, 0x1000)
+        entry = isa.cache._find_class(5)
+        # Cold line -> DRAM latency; arrival is in the future.
+        assert entry.prefetch_ready > machine.clock
+
+    def test_prefetch_warms_data_cache(self, machine, isa):
+        machine.memory.write_word(0x1000, 0x2000)
+        isa.begin_call()
+        em = machine.new_emitter()
+        isa.mcszupdate(em, 64, 64, 5)
+        isa.mcnxtprefetch(em, 5, 0x1000)
+        assert machine.hierarchy.l1.contains(0x1000)

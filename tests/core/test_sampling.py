@@ -1,0 +1,61 @@
+"""Tests for the Mallacc sampling performance counter."""
+
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.context import Machine
+from repro.core.sampling import SamplingCounter
+from repro.sim.uop import UopKind
+
+
+def make(period=1024, enabled=True):
+    return SamplingCounter(
+        config=AllocatorConfig(sample_parameter=period, sampling_enabled=enabled)
+    )
+
+
+class TestCounter:
+    def test_accumulates_without_firing(self):
+        pmu = make(period=1000)
+        assert not pmu.count(400)
+        assert not pmu.count(400)
+        assert pmu.accumulated == 800
+
+    def test_fires_at_threshold(self):
+        pmu = make(period=1000)
+        pmu.count(600)
+        assert pmu.count(600)
+        assert pmu.interrupts == 1
+
+    def test_residual_carries_over(self):
+        pmu = make(period=1000)
+        pmu.count(1500)
+        assert pmu.accumulated == 500
+
+    def test_disabled(self):
+        pmu = make(enabled=False)
+        assert not pmu.count(10**9)
+        assert pmu.interrupts == 0
+
+    def test_counting_emits_no_uops(self):
+        """The whole point: sampling leaves the instruction stream."""
+        pmu = make(period=100)
+        fired = pmu.count(200)
+        assert fired  # and no Emitter was even involved
+
+    def test_sampling_rate_matches_software_sampler(self):
+        pmu = make(period=1000)
+        fires = sum(1 for _ in range(100) if pmu.count(100))
+        assert fires == 10
+
+
+class TestInterrupt:
+    def test_service_costs_and_records(self):
+        machine = Machine()
+        pmu = make(period=100)
+        pmu.count(200)
+        em = machine.new_emitter()
+        pmu.service_interrupt(em, 200, clock=1234)
+        assert pmu.num_samples == 1
+        assert pmu.samples[0].size == 200 and pmu.samples[0].clock == 1234
+        fixed = [u for u in em.build() if u.kind is UopKind.FIXED]
+        assert len(fixed) == 2  # interrupt entry + stack trace
+        assert sum(u.latency for u in fixed) >= 1000

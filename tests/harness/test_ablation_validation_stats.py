@@ -1,0 +1,133 @@
+"""Tests for the ablation (Fig 4), validation (Table 1) and stats (Table 2)
+harness modules."""
+
+import pytest
+
+from repro.harness.ablation import COMPONENT_ABLATIONS, fastpath_breakdown
+from repro.harness.stats import SpeedupTrials, program_speedup_trials
+from repro.harness.validation import analytic_pair_cost, mean_error, validate
+from repro.workloads import MICROBENCHMARKS
+
+
+class TestAblation:
+    def test_component_set(self):
+        assert set(COMPONENT_ABLATIONS) == {
+            "sampling",
+            "size_class",
+            "push_pop",
+            "combined",
+        }
+
+    def test_breakdown_tp_small(self):
+        b = fastpath_breakdown(MICROBENCHMARKS["tp_small"], num_ops=600)
+        assert b.baseline_cycles > 0
+        for name in COMPONENT_ABLATIONS:
+            assert b.component_cost(name) >= 0
+
+    def test_combined_is_about_half(self):
+        """The paper's Figure 4 headline: the three components together are
+        ~50% of fast-path cycles."""
+        b = fastpath_breakdown(MICROBENCHMARKS["tp_small"], num_ops=800)
+        assert 0.35 <= b.combined_fraction <= 0.65
+
+    def test_combined_at_least_each_component(self):
+        b = fastpath_breakdown(MICROBENCHMARKS["gauss_free"], num_ops=800)
+        combined = b.component_cost("combined")
+        for name in ("sampling", "size_class", "push_pop"):
+            assert combined >= b.component_cost(name) - 1e-9
+
+    def test_antagonist_push_pop_grows(self):
+        """Figure 4: the antagonist 'sees a significant increase in Pop
+        time' versus the cache-resident strided benchmarks."""
+        friendly = fastpath_breakdown(MICROBENCHMARKS["tp_small"], num_ops=600)
+        hostile = fastpath_breakdown(MICROBENCHMARKS["antagonist"], num_ops=600)
+        assert hostile.component_cost("push_pop") > friendly.component_cost("push_pop")
+        assert hostile.baseline_cycles > friendly.baseline_cycles
+
+
+class TestValidation:
+    def test_rows_and_mean(self):
+        rows = validate(num_ops=600)
+        assert [r.workload for r in rows] == [
+            "gauss",
+            "gauss_free",
+            "tp",
+            "tp_small",
+            "sized_deletes",
+        ]
+        for r in rows:
+            assert r.simulated_cycles > 0
+            assert r.error_pct >= 0
+        assert mean_error(rows) < 15.0  # paper: 6.28%
+
+    def test_analytic_costs_sensible(self):
+        assert analytic_pair_cost("gauss") < analytic_pair_cost("gauss_free")
+        assert analytic_pair_cost("sized_deletes") < analytic_pair_cost("tp")
+        assert analytic_pair_cost("tp") == analytic_pair_cost("tp_small")
+
+    def test_mean_error_empty(self):
+        assert mean_error([]) == 0.0
+
+
+class TestStats:
+    def test_trials_math(self):
+        t = SpeedupTrials(workload="w", speedups=[0.5, 0.6, 0.4, 0.5, 0.5])
+        assert t.mean == pytest.approx(0.5)
+        assert t.stddev > 0
+        assert t.p_value < 0.05
+        assert t.significant
+
+    def test_noise_not_significant(self):
+        t = SpeedupTrials(workload="w", speedups=[0.5, -0.6, 0.1, -0.2, 0.05])
+        assert not t.significant
+
+    def test_slowdown_not_significant(self):
+        t = SpeedupTrials(workload="w", speedups=[-0.5, -0.4, -0.6])
+        assert t.p_value == 1.0
+
+    def test_degenerate_cases(self):
+        assert SpeedupTrials("w", []).p_value == 1.0
+        assert SpeedupTrials("w", [0.1]).p_value == 1.0
+        zero_var = SpeedupTrials("w", [0.2, 0.2, 0.2])
+        assert zero_var.p_value < 1e-6
+
+    def test_program_speedup_trials_run(self):
+        t = program_speedup_trials(
+            MICROBENCHMARKS["tp_small"], trials=3, num_ops=300
+        )
+        assert len(t.speedups) == 3
+        assert t.workload == "tp_small"
+
+
+class TestBootstrap:
+    def test_ci_brackets_mean(self):
+        from repro.harness.stats import bootstrap_ci
+
+        values = [0.4, 0.5, 0.6, 0.45, 0.55]
+        lo, hi = bootstrap_ci(values)
+        mean = sum(values) / len(values)
+        assert lo <= mean <= hi
+
+    def test_ci_narrows_with_less_variance(self):
+        from repro.harness.stats import bootstrap_ci
+
+        tight = bootstrap_ci([0.5, 0.5, 0.51, 0.49, 0.5])
+        wide = bootstrap_ci([0.1, 0.9, 0.2, 0.8, 0.5])
+        assert (tight[1] - tight[0]) < (wide[1] - wide[0])
+
+    def test_single_value_degenerate(self):
+        from repro.harness.stats import bootstrap_ci
+
+        assert bootstrap_ci([0.3]) == (0.3, 0.3)
+
+    def test_empty_rejected(self):
+        from repro.harness.stats import bootstrap_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_deterministic_by_seed(self):
+        from repro.harness.stats import bootstrap_ci
+
+        v = [0.1, 0.4, 0.3, 0.2]
+        assert bootstrap_ci(v, seed=7) == bootstrap_ci(v, seed=7)

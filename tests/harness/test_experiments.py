@@ -1,0 +1,91 @@
+"""Tests for the comparison harness."""
+
+import pytest
+
+from repro.harness.experiments import (
+    LIMIT_ABLATION,
+    WorkloadComparison,
+    compare_workload,
+    geomean,
+    make_baseline,
+    make_mallacc,
+)
+from repro.harness.runner import RunResult
+from repro.workloads import MICROBENCHMARKS
+from tests.harness.test_metrics import rec
+
+
+def result_with(cycles_list, app=1000, name="w"):
+    r = RunResult(workload=name, app_cycles=app)
+    r.records = [rec(c) for c in cycles_list]
+    return r
+
+
+class TestComparisonMath:
+    def test_improvements(self):
+        base = result_with([100, 100])
+        accel = result_with([60, 80])
+        c = WorkloadComparison(workload="w", baseline=base, mallacc=accel)
+        assert c.allocator_improvement == pytest.approx(30.0)
+        assert c.malloc_improvement == pytest.approx(30.0)
+
+    def test_limit_improvement_reads_ablation(self):
+        base = result_with([100])
+        base.records[0].ablated[LIMIT_ABLATION] = 50
+        c = WorkloadComparison(workload="w", baseline=base, mallacc=result_with([90]))
+        assert c.allocator_limit_improvement == pytest.approx(50.0)
+
+    def test_program_speedup_formula(self):
+        base = result_with([100], app=900)  # total 1000
+        accel = result_with([50], app=900)  # accel total 950
+        c = WorkloadComparison(workload="w", baseline=base, mallacc=accel)
+        assert c.program_speedup == pytest.approx(5.0)
+        assert c.allocator_fraction == pytest.approx(0.1)
+
+    def test_zero_baseline_safe(self):
+        c = WorkloadComparison(
+            workload="w", baseline=RunResult("w"), mallacc=RunResult("w")
+        )
+        assert c.allocator_improvement == 0.0
+
+
+class TestGeomean:
+    def test_uniform(self):
+        assert geomean([20.0, 20.0, 20.0]) == pytest.approx(20.0)
+
+    def test_mixed(self):
+        g = geomean([10.0, 30.0])
+        assert 10.0 < g < 30.0
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_handles_negative_entries(self):
+        g = geomean([-5.0, 20.0])
+        assert g < 20.0
+
+
+class TestFactories:
+    def test_baseline_has_limit_ablation(self):
+        alloc = make_baseline()
+        _, r = alloc.malloc(64)
+        assert LIMIT_ABLATION in r.ablated
+
+    def test_mallacc_cache_size(self):
+        alloc = make_mallacc(cache_entries=8)
+        assert alloc.malloc_cache.config.num_entries == 8
+
+
+class TestEndToEndComparison:
+    def test_compare_tp_small(self):
+        c = compare_workload(MICROBENCHMARKS["tp_small"], num_ops=600)
+        assert c.workload == "tp_small"
+        # Both runs saw identical op streams.
+        assert len(c.baseline.records) == len(c.mallacc.records)
+        # Mallacc helps, bounded by the limit study.
+        assert 0 < c.malloc_improvement <= c.malloc_limit_improvement + 8
+
+    def test_comparison_is_reproducible(self):
+        a = compare_workload(MICROBENCHMARKS["tp_small"], num_ops=300, seed=4)
+        b = compare_workload(MICROBENCHMARKS["tp_small"], num_ops=300, seed=4)
+        assert a.allocator_improvement == pytest.approx(b.allocator_improvement)

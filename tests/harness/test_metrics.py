@@ -1,0 +1,118 @@
+"""Tests for the distribution metrics."""
+
+import pytest
+
+from repro.alloc.allocator import CallRecord, Path
+from repro.harness.metrics import (
+    classes_for_coverage,
+    duration_histogram,
+    mean_cycles,
+    median_cycles,
+    size_class_cdf,
+    time_weighted_cdf,
+)
+
+
+def rec(cycles, kind="malloc", cl=5, path=Path.FAST):
+    return CallRecord(
+        kind=kind, size=64, size_class=cl, path=path, cycles=cycles,
+        num_uops=30, ptr=0x1000, clock=0,
+    )
+
+
+class TestDurationHistogram:
+    def test_weights_sum_to_100(self):
+        records = [rec(20), rec(30), rec(2000), rec(40000)]
+        h = duration_histogram(records)
+        assert sum(h.weights) == pytest.approx(100.0)
+
+    def test_time_weighting(self):
+        """One 10000-cycle call outweighs one-hundred 20-cycle calls."""
+        records = [rec(20)] * 100 + [rec(10000)]
+        h = duration_histogram(records)
+        slow_share = sum(
+            w for e, w in zip(h.bin_edges, h.weights) if e >= 5000
+        )
+        assert slow_share > 50
+
+    def test_peak_detection_three_pools(self):
+        """Figure 1's shape: fast / central / page-allocator peaks."""
+        records = [rec(20)] * 500 + [rec(1500)] * 10 + [rec(30000)] * 2
+        h = duration_histogram(records)
+        peaks = h.peak_bins(min_share=5.0)
+        assert len(peaks) == 3
+
+    def test_malloc_only_filter(self):
+        records = [rec(20), rec(500, kind="free")]
+        h = duration_histogram(records, malloc_only=True)
+        assert sum(h.weights) == pytest.approx(100.0)
+        assert h.weights[duration_histogram([rec(20)]).weights.index(100.0)] == 100.0
+
+    def test_cumulative_monotone(self):
+        records = [rec(c) for c in (10, 100, 1000, 10000)]
+        cum = duration_histogram(records).cumulative()
+        assert all(a <= b + 1e-9 for a, b in zip(cum, cum[1:]))
+        assert cum[-1] == pytest.approx(100.0)
+
+    def test_empty_records(self):
+        h = duration_histogram([])
+        assert sum(h.weights) == 0.0
+
+
+class TestTimeWeightedCdf:
+    def test_figure2_metric(self):
+        records = [rec(50)] * 60 + [rec(5000)]
+        cdf = time_weighted_cdf(records)
+        assert cdf[100] == pytest.approx(100.0 * 3000 / 8000)
+        assert cdf[100000] == pytest.approx(100.0)
+
+    def test_monotone_in_threshold(self):
+        records = [rec(c) for c in (10, 99, 150, 2000, 60000)]
+        cdf = time_weighted_cdf(records)
+        values = [cdf[t] for t in sorted(cdf)]
+        assert values == sorted(values)
+
+
+class TestSizeClassCdf:
+    def test_most_used_first(self):
+        records = [rec(20, cl=1)] * 8 + [rec(20, cl=2)] * 2
+        cdf = size_class_cdf(records)
+        assert cdf[0] == pytest.approx(80.0)
+        assert cdf[1] == pytest.approx(100.0)
+
+    def test_ignores_frees_and_large(self):
+        records = [rec(20, cl=1), rec(20, cl=0), rec(20, cl=3, kind="free")]
+        cdf = size_class_cdf(records)
+        assert cdf == [pytest.approx(100.0)]
+
+    def test_classes_for_coverage(self):
+        records = (
+            [rec(20, cl=1)] * 70 + [rec(20, cl=2)] * 25 + [rec(20, cl=3)] * 5
+        )
+        assert classes_for_coverage(records, coverage=90.0) == 2
+        assert classes_for_coverage(records, coverage=99.0) == 3
+
+    def test_empty(self):
+        assert size_class_cdf([]) == []
+        assert classes_for_coverage([]) == 0
+
+
+class TestMoments:
+    def test_mean_cycles_filters(self):
+        records = [rec(10), rec(30), rec(1000, kind="free")]
+        assert mean_cycles(records, malloc_only=True) == 20.0
+        assert mean_cycles(records, malloc_only=False) == pytest.approx(1040 / 3)
+
+    def test_mean_fast_only(self):
+        records = [rec(10), rec(5000, path=Path.PAGE_ALLOC)]
+        assert mean_cycles(records, fast_only=True) == 10.0
+
+    def test_median(self):
+        records = [rec(10), rec(20), rec(90)]
+        assert median_cycles(records) == 20
+        records.append(rec(100))
+        assert median_cycles(records) == 55.0
+
+    def test_empty_moments(self):
+        assert mean_cycles([]) == 0.0
+        assert median_cycles([]) == 0.0

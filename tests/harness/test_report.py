@@ -1,0 +1,53 @@
+"""Tests for the report generator (rendering, fast-scale collection)."""
+
+import pytest
+
+from repro.harness.report import MACRO_ORDER, MICRO_ORDER, collect, generate_report, render_markdown
+
+
+@pytest.fixture(scope="module")
+def data():
+    # Small but real: exercises the full collection path once per module.
+    return collect(ops=500, seed=3)
+
+
+class TestCollect:
+    def test_covers_all_workloads(self, data):
+        assert set(data.comparisons) == set(MACRO_ORDER)
+        assert set(data.breakdowns) == set(MICRO_ORDER)
+
+    def test_validation_and_sweep_present(self, data):
+        assert len(data.validation_rows) == 5
+        assert data.sweep.malloc_speedups
+
+
+class TestRender:
+    def test_markdown_structure(self, data):
+        text = render_markdown(data)
+        assert text.startswith("# Mallacc reproduction report")
+        for heading in (
+            "## Allocator and malloc speedups",
+            "## Fast-path components",
+            "## Simulator validation",
+            "## Malloc-cache size sweep",
+            "## Area",
+        ):
+            assert heading in text
+
+    def test_every_workload_has_a_row(self, data):
+        text = render_markdown(data)
+        for name in MACRO_ORDER + MICRO_ORDER:
+            assert name in text
+
+    def test_geomean_row(self, data):
+        text = render_markdown(data)
+        assert "**geomean**" in text
+
+    def test_generate_writes_file(self, data, tmp_path, monkeypatch):
+        # Reuse the collected data instead of re-running the battery.
+        import repro.harness.report as report_mod
+
+        monkeypatch.setattr(report_mod, "collect", lambda **kw: data)
+        out = tmp_path / "r.md"
+        text = generate_report(str(out), ops=500)
+        assert out.read_text() == text

@@ -1,0 +1,120 @@
+"""Tests for the workload runner."""
+
+import pytest
+
+from repro.alloc import TCMalloc
+from repro.harness.runner import RunResult, run_workload
+from repro.workloads.base import Op, OpKind
+
+
+def ops_simple():
+    return [
+        Op(OpKind.MALLOC, size=64, slot=0, gap_cycles=100),
+        Op(OpKind.MALLOC, size=64, slot=1, gap_cycles=50),
+        Op(OpKind.FREE, size=64, slot=0, gap_cycles=25),
+        Op(OpKind.FREE_SIZED, size=64, slot=1, gap_cycles=25),
+    ]
+
+
+class TestRunner:
+    def test_records_match_ops(self):
+        result = run_workload(TCMalloc(), ops_simple(), name="x")
+        assert result.workload == "x"
+        assert len(result.records) == 4
+        kinds = [r.kind for r in result.records]
+        assert kinds == ["malloc", "malloc", "free", "free"]
+
+    def test_app_cycles_sum_gaps(self):
+        result = run_workload(TCMalloc(), ops_simple())
+        assert result.app_cycles == 200
+
+    def test_warmup_excluded_from_records(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, warmup=True),
+            Op(OpKind.FREE, size=64, slot=0, warmup=True),
+            Op(OpKind.MALLOC, size=64, slot=1),
+        ]
+        result = run_workload(TCMalloc(), ops)
+        assert len(result.records) == 1
+        assert result.warmup_calls == 2
+        assert result.warmup_cycles > 0
+
+    def test_warmup_gaps_excluded_from_app_cycles(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, gap_cycles=1000, warmup=True),
+            Op(OpKind.MALLOC, size=64, slot=1, gap_cycles=10),
+        ]
+        result = run_workload(TCMalloc(), ops)
+        assert result.app_cycles == 10
+
+    def test_slot_reuse_rejected(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0),
+            Op(OpKind.MALLOC, size=64, slot=0),
+        ]
+        with pytest.raises(ValueError):
+            run_workload(TCMalloc(), ops)
+
+    def test_free_of_unknown_slot_raises(self):
+        with pytest.raises(KeyError):
+            run_workload(TCMalloc(), [Op(OpKind.FREE, size=64, slot=9)])
+
+    def test_antagonize_op_evicts(self):
+        alloc = TCMalloc()
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0),
+            Op(OpKind.ANTAGONIZE),
+            Op(OpKind.MALLOC, size=64, slot=1),
+        ]
+        result = run_workload(alloc, ops)
+        assert len(result.records) == 2  # antagonize is not a call
+
+    def test_app_traffic_touches_cache(self):
+        alloc = TCMalloc()
+        ops = [Op(OpKind.MALLOC, size=64, slot=0, gap_cycles=10, app_lines=32)]
+        run_workload(alloc, ops)
+        assert alloc.machine.hierarchy.l1.resident_lines >= 32
+
+    def test_app_traffic_can_be_disabled(self):
+        alloc = TCMalloc()
+        ops = [Op(OpKind.MALLOC, size=64, slot=0, gap_cycles=10, app_lines=32)]
+        before_like = TCMalloc()
+        run_workload(before_like, [Op(OpKind.MALLOC, size=64, slot=0)], model_app_traffic=False)
+        result = run_workload(alloc, ops, model_app_traffic=False)
+        assert result.records
+
+
+class TestRunResultMetrics:
+    def _result(self):
+        return run_workload(TCMalloc(), ops_simple())
+
+    def test_cycle_partitions(self):
+        r = self._result()
+        assert r.allocator_cycles == r.malloc_cycles + r.free_cycles
+        assert r.total_cycles == r.allocator_cycles + r.app_cycles
+
+    def test_allocator_fraction(self):
+        r = self._result()
+        assert 0 < r.allocator_fraction < 1
+        assert r.allocator_fraction == pytest.approx(
+            r.allocator_cycles / r.total_cycles
+        )
+
+    def test_path_counts(self):
+        r = self._result()
+        counts = r.path_counts()
+        assert sum(counts.values()) == 4
+
+    def test_fast_path_time_fraction_bounds(self):
+        r = self._result()
+        assert 0.0 <= r.fast_path_time_fraction() <= 1.0
+
+    def test_empty_result(self):
+        r = RunResult(workload="empty")
+        assert r.allocator_cycles == 0
+        assert r.allocator_fraction == 0.0
+        assert r.fast_path_time_fraction() == 0.0
+
+    def test_ablated_cycles_default_to_measured(self):
+        r = self._result()
+        assert r.ablated_allocator_cycles("nonexistent") == r.allocator_cycles

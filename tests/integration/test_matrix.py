@@ -1,0 +1,52 @@
+"""Cross-product smoke matrix: every workload on every allocator variant.
+
+Cheap per cell, but the matrix catches integration regressions nothing else
+exercises (e.g. a macro workload hitting a Mallacc corner only under a
+specific free mix).
+"""
+
+import pytest
+
+from repro.alloc import AllocatorConfig, TCMalloc
+from repro.core import MallaccTCMalloc
+from repro.core.malloc_cache import MallocCacheConfig
+from repro.harness.runner import run_workload
+from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS
+from repro.workloads.adversarial import class_thrash, fragmentation_bomb, prefetch_trap
+
+ALL_WORKLOADS = {
+    **MICROBENCHMARKS,
+    **MACRO_WORKLOADS,
+    "class_thrash": class_thrash(24),
+    "prefetch_trap": prefetch_trap(),
+    "fragmentation_bomb": fragmentation_bomb(population=64),
+}
+
+VARIANTS = {
+    "baseline": lambda: TCMalloc(config=AllocatorConfig(release_rate=0)),
+    "mallacc32": lambda: MallaccTCMalloc(config=AllocatorConfig(release_rate=0)),
+    "mallacc4": lambda: MallaccTCMalloc(
+        config=AllocatorConfig(release_rate=0),
+        cache_config=MallocCacheConfig(num_entries=4),
+    ),
+    "mallacc-paper-fill": lambda: MallaccTCMalloc(
+        config=AllocatorConfig(release_rate=0),
+        cache_config=MallocCacheConfig(fill_rule="paper"),
+    ),
+}
+
+
+@pytest.mark.parametrize("workload_name", sorted(ALL_WORKLOADS))
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_matrix(workload_name, variant):
+    workload = ALL_WORKLOADS[workload_name]
+    allocator = VARIANTS[variant]()
+    result = run_workload(
+        allocator, workload.ops(seed=11, num_ops=300), name=workload.name,
+        model_app_traffic=False,
+    )
+    assert result.records, (workload_name, variant)
+    assert all(r.cycles > 0 for r in result.records)
+    allocator.check_conservation()
+    if hasattr(allocator, "malloc_cache"):
+        allocator.malloc_cache.check_invariants(allocator.machine.memory)

@@ -1,0 +1,115 @@
+"""Tests for the three-level cache hierarchy."""
+
+import pytest
+
+from repro.sim.cache import CacheConfig
+from repro.sim.hierarchy import CacheHierarchy, HierarchyConfig
+
+
+@pytest.fixture
+def h():
+    return CacheHierarchy()
+
+
+class TestLatencies:
+    def test_cold_access_costs_dram(self, h):
+        assert h.access(0x10000) == h.config.dram_latency
+
+    def test_second_access_hits_l1(self, h):
+        h.access(0x10000)
+        assert h.access(0x10000) == h.config.l1.latency
+
+    def test_l2_hit_after_l1_eviction(self, h):
+        h.access(0x10000)
+        h.l1.invalidate(0x10000)
+        assert h.access(0x10000) == h.config.l2.latency
+
+    def test_l3_hit_after_l1_l2_eviction(self, h):
+        h.access(0x10000)
+        h.l1.invalidate(0x10000)
+        h.l2.invalidate(0x10000)
+        assert h.access(0x10000) == h.config.l3.latency
+
+    def test_haswell_default_latencies(self, h):
+        assert h.config.l1.latency == 4
+        assert h.config.l2.latency == 12
+        assert h.config.l3.latency == 34  # quoted in the paper (Section 6.1)
+
+    def test_fills_propagate_to_all_levels(self, h):
+        h.access(0x10000)
+        assert h.l1.contains(0x10000)
+        assert h.l2.contains(0x10000)
+        assert h.l3.contains(0x10000)
+
+    def test_write_moves_lines_like_read(self, h):
+        h.access(0x10000, write=True)
+        assert h.l1.contains(0x10000)
+        assert h.access(0x10000) == h.config.l1.latency
+
+
+class TestProbe:
+    def test_probe_matches_access_without_moving(self, h):
+        h.access(0x10000)
+        h.l1.invalidate(0x10000)
+        assert h.probe_latency(0x10000) == h.config.l2.latency
+        assert not h.l1.contains(0x10000)  # probe did not fill
+
+    def test_probe_cold(self, h):
+        assert h.probe_latency(0x999000) == h.config.dram_latency
+
+
+class TestAntagonizeAndTraffic:
+    def test_antagonize_evicts_l1_l2_only(self, h):
+        # Two lines in the same L1 set (64 sets * 64B = 4 KB stride).
+        h.access(0x10000)
+        h.access(0x10000 + 4096)
+        evicted = h.antagonize()
+        assert evicted >= 1
+        assert h.l3.contains(0x10000)  # L3 untouched by the antagonist
+
+    def test_touch_lines_streams(self, h):
+        h.touch_lines(0x100000, 16)
+        for i in range(16):
+            assert h.l1.contains(0x100000 + i * 64)
+
+    def test_prefetch_fills(self, h):
+        lat = h.prefetch(0x20000)
+        assert lat == h.config.dram_latency
+        assert h.access(0x20000) == h.config.l1.latency
+
+    def test_flush_all(self, h):
+        h.access(0x10000)
+        h.flush_all()
+        assert h.access(0x10000) == h.config.dram_latency
+
+    def test_dram_access_count(self, h):
+        h.access(0x10000)
+        h.access(0x10000)
+        assert h.dram_accesses == 1
+
+    def test_stats_keys(self, h):
+        h.access(0x10000)
+        s = h.stats()
+        assert set(s) == {"l1_miss_rate", "l2_miss_rate", "l3_miss_rate", "dram_accesses"}
+
+
+class TestCustomGeometry:
+    def test_custom_config(self):
+        cfg = HierarchyConfig(
+            l1=CacheConfig("L1", 1024, 2, latency=3),
+            l2=CacheConfig("L2", 4096, 4, latency=10),
+            l3=CacheConfig("L3", 16384, 8, latency=30),
+            dram_latency=150,
+        )
+        h = CacheHierarchy(cfg)
+        assert h.access(0x40000) == 150
+        assert h.access(0x40000) == 3
+
+    def test_inclusive_capacity_pressure(self):
+        """Streaming far beyond L1 capacity leaves recent lines resident."""
+        h = CacheHierarchy()
+        for i in range(2048):  # 128 KB through a 32 KB L1
+            h.access(0x100000 + i * 64)
+        assert h.l1.contains(0x100000 + 2047 * 64)
+        assert not h.l1.contains(0x100000)
+        assert h.l2.contains(0x100000)  # still fits in 256 KB L2

@@ -1,0 +1,68 @@
+"""Property-based tests for the cache hierarchy (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.hierarchy import CacheHierarchy
+
+ADDRS = st.integers(min_value=1, max_value=1 << 20).map(lambda x: x * 64)
+
+
+@given(st.lists(ADDRS, min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_latency_matches_configured_levels(addrs):
+    h = CacheHierarchy()
+    valid = {
+        h.config.l1.latency,
+        h.config.l2.latency,
+        h.config.l3.latency,
+        h.config.dram_latency,
+    }
+    for addr in addrs:
+        assert h.access(addr) in valid
+
+
+@given(st.lists(ADDRS, min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_immediate_reaccess_hits_l1(addrs):
+    h = CacheHierarchy()
+    for addr in addrs:
+        h.access(addr)
+        assert h.access(addr) == h.config.l1.latency
+
+
+@given(st.lists(ADDRS, min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_probe_agrees_with_access(addrs):
+    """probe_latency predicts exactly what the next access pays."""
+    h = CacheHierarchy()
+    for addr in addrs:
+        predicted = h.probe_latency(addr)
+        assert h.access(addr) == predicted
+
+
+@given(st.lists(ADDRS, min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_antagonize_never_grows_occupancy(addrs):
+    h = CacheHierarchy()
+    for addr in addrs:
+        h.access(addr)
+    before = h.l1.resident_lines + h.l2.resident_lines
+    h.antagonize()
+    after = h.l1.resident_lines + h.l2.resident_lines
+    assert after <= before
+    # L3 untouched.
+    for addr in addrs:
+        assert h.l3.contains(addr) or h.probe_latency(addr) <= h.config.dram_latency
+
+
+@given(st.lists(ADDRS, min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_flush_resets_to_cold(addrs):
+    h = CacheHierarchy()
+    for addr in addrs:
+        h.access(addr)
+    h.flush_all()
+    for addr in addrs:
+        assert h.probe_latency(addr) == h.config.dram_latency
+        break  # one cold probe suffices per example

@@ -1,0 +1,162 @@
+"""Tests for the multi-core coherence substrate."""
+
+import pytest
+
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.multithread import MultiThreadAllocator
+from repro.sim.multicore import (
+    CoherenceDirectory,
+    CoherentHierarchy,
+    SharedSubstrate,
+    build_core_machines,
+)
+
+
+@pytest.fixture
+def duo():
+    machines, substrate = build_core_machines(2)
+    return machines[0].hierarchy, machines[1].hierarchy, substrate
+
+
+class TestCoherence:
+    def test_private_l1_l2(self, duo):
+        a, b, _ = duo
+        a.access(0x1000)
+        assert a.l1.contains(0x1000)
+        assert not b.l1.contains(0x1000)
+
+    def test_shared_l3(self, duo):
+        a, b, _ = duo
+        assert a.l3 is b.l3
+        a.access(0x1000)  # DRAM -> fills shared L3
+        assert b.access(0x1000) == b.config.l3.latency  # L3 hit, no writer
+
+    def test_write_invalidates_remote_copies(self, duo):
+        a, b, sub = duo
+        a.access(0x1000)
+        b.access(0x1000, write=True)
+        assert not a.l1.contains(0x1000)
+        assert sub.directory.stats.invalidations >= 1
+
+    def test_read_of_remote_dirty_pays_transfer(self, duo):
+        a, b, sub = duo
+        a.access(0x1000, write=True)
+        base = b.config.l3.latency
+        latency = b.access(0x1000)
+        assert latency >= base + sub.directory.transfer_penalty
+
+    def test_reread_after_transfer_is_shared(self, duo):
+        a, b, sub = duo
+        a.access(0x1000, write=True)
+        b.access(0x1000)  # pays the transfer, line becomes shared
+        transfers = sub.directory.stats.remote_transfers
+        b.access(0x1000)
+        a.access(0x1000)
+        assert sub.directory.stats.remote_transfers == transfers
+
+    def test_write_after_remote_write_pays_upgrade(self, duo):
+        a, b, sub = duo
+        a.access(0x1000, write=True)
+        before = sub.directory.stats.transfer_cycles
+        b.access(0x1000, write=True)
+        assert sub.directory.stats.transfer_cycles > before
+
+    def test_own_rewrites_free(self, duo):
+        a, _, sub = duo
+        a.access(0x1000, write=True)
+        before = sub.directory.stats.remote_transfers
+        a.access(0x1000, write=True)
+        a.access(0x1000)
+        assert sub.directory.stats.remote_transfers == before
+
+    def test_different_lines_independent(self, duo):
+        a, b, sub = duo
+        a.access(0x1000, write=True)
+        assert b.access(0x2000) >= 0
+        assert sub.directory.stats.remote_transfers == 0
+
+
+class TestBuildMachines:
+    def test_shared_memory_and_address_space(self):
+        machines, _ = build_core_machines(3)
+        machines[0].memory.write_word(0x1000, 42)
+        assert machines[1].memory.read_word(0x1000) == 42
+        assert machines[0].address_space is machines[2].address_space
+
+    def test_private_tlbs(self):
+        machines, _ = build_core_machines(2)
+        machines[0].tlb.access(0x1000)
+        assert not machines[1].tlb.contains(0x1000)
+
+    def test_custom_substrate(self):
+        sub = SharedSubstrate()
+        machines, out = build_core_machines(2, substrate=sub)
+        assert out is sub
+        assert machines[0].hierarchy.directory is sub.directory
+
+
+class TestCoherentAllocator:
+    def _producer_consumer(self, coherent):
+        mt = MultiThreadAllocator(
+            2, config=AllocatorConfig(release_rate=0), coherent=coherent
+        )
+        queue = []
+        cycles = 0
+        for _ in range(800):
+            p, rec = mt.malloc(0, 64)
+            cycles += rec.cycles
+            queue.append(p)
+            if len(queue) > 16:
+                cycles += mt.free(1, queue.pop(0)).cycles
+        mt.check_conservation()
+        return mt, cycles
+
+    def test_cross_thread_frees_generate_coherence_traffic(self):
+        mt, _ = self._producer_consumer(coherent=True)
+        stats = mt.coherence_stats()
+        assert stats.invalidations > 0
+        assert stats.remote_transfers > 0
+
+    def test_coherent_mode_costs_more(self):
+        """Line ping-pong between producer and consumer is not free."""
+        _, flat = self._producer_consumer(coherent=False)
+        _, coherent = self._producer_consumer(coherent=True)
+        assert coherent > flat
+
+    def test_flat_mode_reports_no_stats(self):
+        mt, _ = self._producer_consumer(coherent=False)
+        assert mt.coherence_stats() is None
+
+    def test_pointer_stream_identical_across_modes(self):
+        def run(coherent):
+            mt = MultiThreadAllocator(
+                2, config=AllocatorConfig(release_rate=0), coherent=coherent
+            )
+            out = []
+            queue = []
+            for _ in range(400):
+                p, _ = mt.malloc(0, 48)
+                out.append(p)
+                queue.append(p)
+                if len(queue) > 8:
+                    mt.free(1, queue.pop(0))
+            return out
+
+        assert run(False) == run(True)
+
+    def test_accelerated_coherent_combination(self):
+        mt = MultiThreadAllocator(
+            2,
+            config=AllocatorConfig(release_rate=0),
+            coherent=True,
+            accelerated=True,
+        )
+        queue = []
+        for _ in range(500):
+            p, _ = mt.malloc(0, 64)
+            queue.append(p)
+            if len(queue) > 8:
+                mt.free(1, queue.pop(0))
+        for view in mt.threads:
+            view.malloc_cache.check_invariants(mt.machine.memory)
+        mt.check_conservation()

@@ -1,0 +1,71 @@
+"""Property-based tests for the coherence substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.multicore import build_core_machines
+
+ADDRS = st.sampled_from([0x1000, 0x1040, 0x2000, 0x9000, 0x1000 + 4096])
+
+
+@st.composite
+def access_streams(draw, num_cores=3, max_ops=40):
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    return [
+        (
+            draw(st.integers(min_value=0, max_value=num_cores - 1)),
+            draw(ADDRS),
+            draw(st.booleans()),
+        )
+        for _ in range(n)
+    ]
+
+
+@given(access_streams())
+@settings(max_examples=50, deadline=None)
+def test_written_line_never_resident_elsewhere(stream):
+    """Single-writer invariant: right after a write, no other core's private
+    caches hold the line."""
+    machines, _ = build_core_machines(3)
+    for core, addr, write in stream:
+        machines[core].hierarchy.access(addr, write=write)
+        if write:
+            for other in range(3):
+                if other != core:
+                    h = machines[other].hierarchy
+                    assert not h.l1.contains(addr)
+                    assert not h.l2.contains(addr)
+
+
+@given(access_streams())
+@settings(max_examples=50, deadline=None)
+def test_latency_always_at_least_l1(stream):
+    machines, _ = build_core_machines(3)
+    for core, addr, write in stream:
+        latency = machines[core].hierarchy.access(addr, write=write)
+        assert latency >= machines[core].hierarchy.config.l1.latency
+
+
+@given(access_streams())
+@settings(max_examples=50, deadline=None)
+def test_transfer_cycles_account_transfers(stream):
+    machines, substrate = build_core_machines(3)
+    for core, addr, write in stream:
+        machines[core].hierarchy.access(addr, write=write)
+    stats = substrate.directory.stats
+    assert stats.transfer_cycles == (
+        stats.remote_transfers * substrate.directory.transfer_penalty
+    )
+
+
+@given(access_streams())
+@settings(max_examples=30, deadline=None)
+def test_repeated_local_reads_settle_to_l1(stream):
+    """After any history, a core that reads the same line twice in a row
+    without interference pays L1 the second time."""
+    machines, _ = build_core_machines(3)
+    for core, addr, write in stream:
+        machines[core].hierarchy.access(addr, write=write)
+    h = machines[0].hierarchy
+    h.access(0x1000)
+    assert h.access(0x1000) == h.config.l1.latency

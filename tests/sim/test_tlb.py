@@ -1,0 +1,48 @@
+"""Tests for the DTLB model."""
+
+from repro.sim.tlb import TLB, TLBConfig
+
+
+class TestTLB:
+    def test_first_access_misses(self):
+        tlb = TLB()
+        assert tlb.access(0x1000) == tlb.config.miss_penalty
+
+    def test_same_page_hits(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        assert tlb.access(0x1FFF) == 0
+
+    def test_adjacent_page_misses(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        assert tlb.access(0x2000) == tlb.config.miss_penalty
+
+    def test_capacity_lru_eviction(self):
+        tlb = TLB(TLBConfig(entries=2, page_size=4096, miss_penalty=30))
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)  # refresh page 1
+        tlb.access(0x3000)  # evicts page 2 (LRU)
+        assert tlb.contains(0x1000)
+        assert not tlb.contains(0x2000)
+
+    def test_flush(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.flush()
+        assert not tlb.contains(0x1000)
+
+    def test_miss_rate(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.access(0x1008)
+        tlb.access(0x1010)
+        assert tlb.miss_rate == 1 / 3
+
+    def test_miss_rate_empty(self):
+        assert TLB().miss_rate == 0.0
+
+    def test_custom_penalty(self):
+        tlb = TLB(TLBConfig(miss_penalty=99))
+        assert tlb.access(0x5000) == 99

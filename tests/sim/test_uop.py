@@ -1,0 +1,134 @@
+"""Tests for micro-op traces, the builder, and tag ablation."""
+
+import pytest
+
+from repro.sim.uop import LIMIT_STUDY_TAGS, Tag, Trace, TraceBuilder, Uop, UopKind
+
+
+class TestUop:
+    def test_memory_ops_require_address(self):
+        with pytest.raises(ValueError):
+            Uop(UopKind.LOAD)
+        with pytest.raises(ValueError):
+            Uop(UopKind.STORE)
+        with pytest.raises(ValueError):
+            Uop(UopKind.PREFETCH)
+
+    def test_alu_needs_no_address(self):
+        u = Uop(UopKind.ALU)
+        assert u.addr is None and u.latency == 1
+
+
+class TestTraceBuilder:
+    def test_indices_sequential(self):
+        tb = TraceBuilder()
+        assert tb.alu() == 0
+        assert tb.load(0x1000, latency=4) == 1
+        assert tb.store(0x1000) == 2
+
+    def test_dependences_recorded(self):
+        tb = TraceBuilder()
+        a = tb.alu()
+        b = tb.load(0x1000, latency=4, deps=(a,))
+        trace = tb.build()
+        assert trace.uops[b].deps == (a,)
+
+    def test_branch_penalty_adds_latency(self):
+        tb = TraceBuilder()
+        tb.branch(mispredict_penalty=14)
+        assert tb.build().uops[0].latency == 15
+
+    def test_fixed_latency(self):
+        tb = TraceBuilder()
+        tb.fixed(5000)
+        u = tb.build().uops[0]
+        assert u.latency == 5000 and u.kind is UopKind.FIXED
+
+    def test_mallacc_kind(self):
+        tb = TraceBuilder()
+        tb.mallacc(3)
+        assert tb.build().uops[0].kind is UopKind.MALLACC
+
+    def test_last_index_empty_raises(self):
+        with pytest.raises(IndexError):
+            TraceBuilder().last_index()
+
+    def test_counts_and_tags(self):
+        tb = TraceBuilder()
+        tb.alu(tag=Tag.SIZE_CLASS)
+        tb.load(0x1000, latency=4, tag=Tag.PUSH_POP)
+        tb.load(0x2000, latency=4, tag=Tag.PUSH_POP)
+        trace = tb.build()
+        assert trace.count(UopKind.LOAD) == 2
+        assert trace.tags_present() == {Tag.SIZE_CLASS, Tag.PUSH_POP}
+
+
+class TestWithoutTags:
+    def _chain(self):
+        """alu(SIZE_CLASS) -> load(SIZE_CLASS) -> load(PUSH_POP) -> store(METADATA)"""
+        tb = TraceBuilder()
+        a = tb.alu(tag=Tag.SIZE_CLASS)
+        b = tb.load(0x1000, latency=4, deps=(a,), tag=Tag.SIZE_CLASS)
+        c = tb.load(0x2000, latency=4, deps=(b,), tag=Tag.PUSH_POP)
+        tb.store(0x3000, deps=(c,), tag=Tag.METADATA)
+        return tb.build()
+
+    def test_removes_tagged_uops(self):
+        trace = self._chain().without_tags({Tag.SIZE_CLASS})
+        assert len(trace) == 2
+        assert all(u.tag is not Tag.SIZE_CLASS for u in trace)
+
+    def test_dependences_rewired_transitively(self):
+        trace = self._chain().without_tags({Tag.SIZE_CLASS})
+        # The surviving load's deps chain resolved to nothing (removed roots).
+        assert trace.uops[0].deps == ()
+        assert trace.uops[1].deps == (0,)
+
+    def test_middle_removal_bridges_chain(self):
+        trace = self._chain().without_tags({Tag.PUSH_POP})
+        # store must now depend on the size-class load (index 1).
+        assert trace.uops[2].deps == (1,)
+
+    def test_remove_everything(self):
+        trace = self._chain().without_tags(
+            {Tag.SIZE_CLASS, Tag.PUSH_POP, Tag.METADATA}
+        )
+        assert len(trace) == 0
+
+    def test_noop_removal_preserves_structure(self):
+        before = self._chain()
+        after = before.without_tags({Tag.SAMPLING})
+        assert len(after) == len(before)
+        assert [u.deps for u in after] == [u.deps for u in before]
+
+    def test_duplicate_forwarded_deps_collapse(self):
+        tb = TraceBuilder()
+        a = tb.alu(tag=Tag.ADDRESSING)
+        b = tb.alu(deps=(a,), tag=Tag.SIZE_CLASS)
+        c = tb.alu(deps=(a,), tag=Tag.SIZE_CLASS)
+        tb.alu(deps=(b, c), tag=Tag.METADATA)
+        trace = tb.build().without_tags({Tag.SIZE_CLASS})
+        assert trace.uops[1].deps == (0,)
+
+    def test_limit_study_tags_are_the_three_components(self):
+        assert LIMIT_STUDY_TAGS == {Tag.SIZE_CLASS, Tag.SAMPLING, Tag.PUSH_POP}
+
+    def test_original_trace_unchanged(self):
+        before = self._chain()
+        before.without_tags({Tag.SIZE_CLASS})
+        assert len(before) == 4
+
+
+class TestTraceIteration:
+    def test_iter_and_len(self):
+        tb = TraceBuilder()
+        tb.alu()
+        tb.alu()
+        trace = tb.build()
+        assert len(trace) == 2
+        assert len(list(trace)) == 2
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert trace.tags_present() == set()

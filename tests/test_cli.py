@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    main(list(argv))
+    return capsys.readouterr().out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "tp_small" in out
+        assert "xapian.pages" in out
+
+    def test_run_micro(self, capsys):
+        out = run_cli(capsys, "run", "tp_small", "--ops", "400")
+        assert "malloc speedup" in out
+        assert "limit" in out
+
+    def test_run_macro(self, capsys):
+        out = run_cli(capsys, "run", "xapian.abstracts", "--ops", "600")
+        assert "allocator fraction" in out
+
+    def test_run_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])
+
+    def test_sweep(self, capsys):
+        out = run_cli(capsys, "sweep", "tp_small", "--sizes", "2,8", "--ops", "300")
+        assert "entries" in out and "malloc speedup %" in out
+
+    def test_breakdown(self, capsys):
+        out = run_cli(capsys, "breakdown", "tp_small", "--ops", "400")
+        assert "- combined" in out
+
+    def test_breakdown_rejects_macro(self):
+        with pytest.raises(SystemExit):
+            main(["breakdown", "400.perlbench"])
+
+    def test_area(self, capsys):
+        out = run_cli(capsys, "area", "--entries", "16")
+        assert "1484" in out and "0.0056%" in out
+
+    def test_validate(self, capsys):
+        out = run_cli(capsys, "validate", "--ops", "400")
+        assert "Average" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_record_and_run(self, capsys, tmp_path):
+        trace = tmp_path / "tp.trace"
+        out = run_cli(capsys, "trace-record", "tp_small", "--out", str(trace), "--ops", "300")
+        assert "wrote" in out and trace.exists()
+        out = run_cli(capsys, "trace-run", str(trace), "--entries", "16")
+        assert "malloc speedup" in out
+
+    def test_report(self, capsys, tmp_path):
+        out_file = tmp_path / "results.md"
+        out = run_cli(capsys, "report", "--out", str(out_file), "--ops", "400")
+        assert "report written" in out
+        text = out_file.read_text()
+        assert "# Mallacc reproduction report" in text
+        assert "geomean" in text
+        assert "Figure 17" in text

@@ -1,0 +1,77 @@
+"""Tests for the adversarial workload generators."""
+
+from repro.alloc.size_classes import SizeClassTable
+from repro.core.malloc_cache import MallocCacheConfig
+from repro.harness.experiments import compare_workload, make_mallacc
+from repro.harness.runner import run_workload
+from repro.workloads.adversarial import class_thrash, fragmentation_bomb, prefetch_trap
+from repro.workloads.base import OpKind
+
+TABLE = SizeClassTable.generate()
+
+
+def classes_used(workload, n=800):
+    return {
+        TABLE.size_class_of(op.size)
+        for op in workload.ops(num_ops=n)
+        if op.kind is OpKind.MALLOC and not op.warmup
+    }
+
+
+class TestClassThrash:
+    def test_touches_requested_class_count(self):
+        assert len(classes_used(class_thrash(48), n=2000)) >= 40
+
+    def test_slot_discipline(self):
+        live = set()
+        for op in class_thrash().ops(num_ops=600):
+            if op.kind is OpKind.MALLOC:
+                assert op.slot not in live
+                live.add(op.slot)
+            else:
+                live.discard(op.slot)
+
+    def test_defeats_small_cache(self):
+        alloc = make_mallacc(cache_config=MallocCacheConfig(num_entries=4))
+        run_workload(alloc, class_thrash(48).ops(num_ops=800))
+        # Every malloc misses (48-class round-robin vs 4 entries); only the
+        # paired sized free re-hits the entry the malloc just taught, so the
+        # rate pins at ~0.5 — and every *malloc* pays miss + update.
+        assert 0.35 <= alloc.malloc_cache.sz_hit_rate <= 0.6
+
+    def test_large_cache_recovers(self):
+        alloc = make_mallacc(cache_config=MallocCacheConfig(num_entries=64))
+        run_workload(alloc, class_thrash(48).ops(num_ops=800))
+        assert alloc.malloc_cache.sz_hit_rate > 0.8
+
+
+class TestPrefetchTrap:
+    def test_single_class(self):
+        assert len(classes_used(prefetch_trap())) == 1
+
+    def test_causes_blocking(self):
+        alloc = make_mallacc()
+        run_workload(alloc, prefetch_trap().ops(num_ops=800))
+        assert alloc.malloc_cache.stats.blocked_cycles > 0
+
+    def test_blocking_disabled_eliminates_stalls(self):
+        alloc = make_mallacc(cache_config=MallocCacheConfig(prefetch_blocking=False))
+        run_workload(alloc, prefetch_trap().ops(num_ops=800))
+        assert alloc.malloc_cache.stats.blocked_cycles == 0
+
+
+class TestFragmentationBomb:
+    def test_all_slots_eventually_freed(self):
+        live = set()
+        for op in fragmentation_bomb(population=64).ops(num_ops=1000):
+            if op.kind is OpKind.MALLOC:
+                live.add(op.slot)
+            else:
+                live.discard(op.slot)
+        # Only the tail population can still be live.
+        assert len(live) <= 64
+
+    def test_runs_clean_under_both_allocators(self):
+        comparison = compare_workload(fragmentation_bomb(population=64), num_ops=800)
+        assert comparison.baseline.records
+        assert comparison.mallacc.records

@@ -1,0 +1,168 @@
+"""Tests for the synthetic macro workload models."""
+
+import pytest
+
+from repro.alloc.size_classes import SizeClassTable
+from repro.workloads import MACRO_WORKLOADS
+from repro.workloads.base import OpKind
+from repro.workloads.macro import MACRO_PROFILES, MacroProfile, macro_workload
+
+TABLE = SizeClassTable.generate()
+
+
+def measured(workload, n=3000, seed=1):
+    return [o for o in workload.ops(seed=seed, num_ops=n) if not o.warmup]
+
+
+def classes_for_coverage(ops, coverage=0.9):
+    counts = {}
+    total = 0
+    for o in ops:
+        if o.kind is OpKind.MALLOC:
+            cl = TABLE.size_class_of(o.size)
+            counts[cl] = counts.get(cl, 0) + 1
+            total += 1
+    acc = 0
+    for i, c in enumerate(sorted(counts.values(), reverse=True)):
+        acc += c
+        if acc / total >= coverage:
+            return i + 1
+    return len(counts)
+
+
+class TestRegistry:
+    def test_all_eight_workloads(self):
+        assert set(MACRO_WORKLOADS) == {
+            "400.perlbench",
+            "465.tonto",
+            "471.omnetpp",
+            "483.xalancbmk",
+            "masstree.same",
+            "masstree.wcol1",
+            "xapian.abstracts",
+            "xapian.pages",
+        }
+
+    def test_paper_references_attached(self):
+        for w in MACRO_WORKLOADS.values():
+            assert "fig18" in w.paper
+
+
+class TestSizeClassMixes:
+    """Figure 6: all but one workload use <5 classes for 90% of calls;
+    xalancbmk needs ~30."""
+
+    @pytest.mark.parametrize(
+        "name,lo,hi",
+        [
+            ("400.perlbench", 3, 9),
+            ("465.tonto", 2, 5),
+            ("471.omnetpp", 3, 7),
+            ("483.xalancbmk", 20, 34),
+            ("masstree.same", 1, 2),
+            ("masstree.wcol1", 1, 3),
+            ("xapian.abstracts", 2, 5),
+            ("xapian.pages", 2, 6),
+        ],
+    )
+    def test_classes_for_90pct(self, name, lo, hi):
+        ops = measured(MACRO_WORKLOADS[name], n=4000)
+        assert lo <= classes_for_coverage(ops) <= hi
+
+    def test_masstree_single_class_dominates(self):
+        ops = measured(MACRO_WORKLOADS["masstree.same"], n=2000)
+        sizes = [o.size for o in ops if o.kind is OpKind.MALLOC]
+        top = max(set(sizes), key=sizes.count)
+        assert sizes.count(top) / len(sizes) > 0.8
+
+
+class TestFreeBehaviour:
+    def test_masstree_never_frees(self):
+        """Section 3.2: the masstree performance tests never free memory."""
+        for name in ("masstree.same", "masstree.wcol1"):
+            ops = measured(MACRO_WORKLOADS[name], n=2000)
+            assert all(o.kind is OpKind.MALLOC for o in ops)
+
+    def test_xapian_frees_everything_eventually(self):
+        ops = measured(MACRO_WORKLOADS["xapian.abstracts"], n=4000)
+        frees = sum(1 for o in ops if o.kind is not OpKind.MALLOC)
+        mallocs = len(ops) - frees
+        assert frees / mallocs > 0.75
+
+    def test_c_workloads_use_plain_free(self):
+        for name in ("400.perlbench", "465.tonto"):
+            ops = measured(MACRO_WORKLOADS[name], n=3000)
+            assert not any(o.kind is OpKind.FREE_SIZED for o in ops)
+
+    def test_cxx_workloads_use_sized_free(self):
+        ops = measured(MACRO_WORKLOADS["483.xalancbmk"], n=3000)
+        sized = sum(1 for o in ops if o.kind is OpKind.FREE_SIZED)
+        plain = sum(1 for o in ops if o.kind is OpKind.FREE)
+        assert sized > plain
+
+    def test_slot_discipline(self):
+        for name, w in MACRO_WORKLOADS.items():
+            live = set()
+            for o in w.ops(seed=2, num_ops=2000):
+                if o.kind is OpKind.MALLOC:
+                    assert o.slot not in live
+                    live.add(o.slot)
+                elif o.kind in (OpKind.FREE, OpKind.FREE_SIZED):
+                    assert o.slot in live, name
+                    live.discard(o.slot)
+
+
+class TestStreamShape:
+    def test_deterministic_per_seed(self):
+        w = MACRO_WORKLOADS["400.perlbench"]
+        assert list(w.ops(seed=9, num_ops=500)) == list(w.ops(seed=9, num_ops=500))
+        assert list(w.ops(seed=9, num_ops=500)) != list(w.ops(seed=10, num_ops=500))
+
+    def test_gaps_positive_and_near_mean(self):
+        profile = MACRO_PROFILES["465.tonto"]
+        ops = measured(MACRO_WORKLOADS["465.tonto"], n=3000)
+        gaps = [o.gap_cycles for o in ops]
+        assert all(g >= 1 for g in gaps)
+        mean = sum(gaps) / len(gaps)
+        assert 0.5 * profile.gap_cycles_mean <= mean <= 1.5 * profile.gap_cycles_mean
+
+    def test_app_lines_match_profile(self):
+        profile = MACRO_PROFILES["483.xalancbmk"]
+        ops = measured(MACRO_WORKLOADS["483.xalancbmk"], n=500)
+        assert all(o.app_lines == profile.app_lines for o in ops)
+
+    def test_warmup_prefix(self):
+        ops = list(MACRO_WORKLOADS["400.perlbench"].ops(seed=1, num_ops=2000))
+        first_measured = next(i for i, o in enumerate(ops) if not o.warmup)
+        assert first_measured > 50
+        assert all(not o.warmup for o in ops[first_measured + 100 :])
+
+    def test_phase_churn_emits_free_bursts(self):
+        """Phase boundaries release most of the live set at once."""
+        ops = measured(MACRO_WORKLOADS["400.perlbench"], n=6000)
+        run, longest = 0, 0
+        for o in ops:
+            if o.kind is not OpKind.MALLOC:
+                run += 1
+                longest = max(longest, run)
+            else:
+                run = 0
+        assert longest >= 10
+
+
+class TestCustomProfile:
+    def test_macro_workload_factory(self):
+        profile = MacroProfile(
+            name="custom",
+            sizes=((64, 1.0),),
+            free_ratio=1.0,
+            sized_free_frac=1.0,
+            gap_cycles_mean=100,
+            app_lines=0,
+            lifetime_ops=8,
+        )
+        w = macro_workload(profile, default_ops=200)
+        ops = list(w.ops(seed=1))
+        assert ops
+        sizes = {o.size for o in ops if o.kind is OpKind.MALLOC}
+        assert sizes == {64}

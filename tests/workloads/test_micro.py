@@ -1,0 +1,138 @@
+"""Tests for the microbenchmark generators."""
+
+import pytest
+
+from repro.alloc.size_classes import SizeClassTable
+from repro.workloads import MICROBENCHMARKS
+from repro.workloads.base import Op, OpKind
+from repro.workloads.micro import antagonist, gauss, gauss_free, sized_deletes, tp, tp_small
+
+TABLE = SizeClassTable.generate()
+
+
+def measured(ops):
+    return [o for o in ops if not o.warmup]
+
+
+def check_slot_discipline(ops):
+    """Every free references a live slot; no slot is allocated twice."""
+    live = set()
+    for op in ops:
+        if op.kind is OpKind.MALLOC:
+            assert op.slot not in live
+            live.add(op.slot)
+        elif op.kind in (OpKind.FREE, OpKind.FREE_SIZED):
+            assert op.slot in live
+            live.discard(op.slot)
+
+
+def classes_used(ops):
+    return {
+        TABLE.size_class_of(o.size)
+        for o in ops
+        if o.kind is OpKind.MALLOC and not o.warmup
+    }
+
+
+class TestStrided:
+    def test_tp_sizes(self):
+        ops = measured(list(tp.ops(num_ops=400)))
+        sizes = {o.size for o in ops if o.kind is OpKind.MALLOC}
+        assert min(sizes) == 32 and max(sizes) <= 512
+        assert all(s % 16 == 0 for s in sizes)
+
+    def test_tp_uses_about_25_classes(self):
+        """The paper's Figure 17 inflection: tp touches ~25 size classes."""
+        ops = list(tp.ops(num_ops=2000))
+        assert 20 <= len(classes_used(ops)) <= 28
+
+    def test_tp_small_uses_4_classes(self):
+        ops = list(tp_small.ops(num_ops=600))
+        assert len(classes_used(ops)) == 4
+
+    def test_sized_deletes_uses_8_classes_and_sized_frees(self):
+        ops = list(sized_deletes.ops(num_ops=600))
+        assert len(classes_used(ops)) == 8
+        frees = [o for o in measured(ops) if o.kind is not OpKind.MALLOC]
+        assert frees and all(o.kind is OpKind.FREE_SIZED for o in frees)
+
+    def test_tp_frees_are_plain(self):
+        ops = measured(list(tp.ops(num_ops=200)))
+        frees = [o for o in ops if o.kind is not OpKind.MALLOC]
+        assert frees and all(o.kind is OpKind.FREE for o in frees)
+
+    def test_back_to_back_pairs(self):
+        ops = measured(list(tp_small.ops(num_ops=100)))
+        for m, f in zip(ops[::2], ops[1::2]):
+            assert m.kind is OpKind.MALLOC and f.kind is OpKind.FREE
+            assert m.slot == f.slot
+
+    def test_warmup_present_and_flagged(self):
+        ops = list(tp_small.ops(num_ops=100))
+        assert any(o.warmup for o in ops)
+        assert any(not o.warmup for o in ops)
+
+    def test_slot_discipline(self):
+        for w in (tp, tp_small, sized_deletes):
+            check_slot_discipline(w.ops(num_ops=300))
+
+    def test_deterministic(self):
+        a = list(tp.ops(seed=1, num_ops=200))
+        b = list(tp.ops(seed=2, num_ops=200))
+        assert a == b  # strided benchmarks ignore the seed
+
+    def test_op_count_respected(self):
+        ops = measured(list(tp.ops(num_ops=250)))
+        assert 250 <= len(ops) <= 252
+
+
+class TestGaussian:
+    def test_gauss_never_frees(self):
+        ops = measured(list(gauss.ops(num_ops=400)))
+        assert all(o.kind is OpKind.MALLOC for o in ops)
+
+    def test_gauss_size_mix(self):
+        """90% small 16-64, 10% large 256-512."""
+        ops = measured(list(gauss.ops(seed=5, num_ops=2000)))
+        small = sum(1 for o in ops if 16 <= o.size <= 64)
+        large = sum(1 for o in ops if 256 <= o.size <= 512)
+        assert small + large == len(ops)
+        assert 0.85 <= small / len(ops) <= 0.95
+
+    def test_gauss_free_frees_about_half(self):
+        ops = measured(list(gauss_free.ops(seed=5, num_ops=2000)))
+        frees = sum(1 for o in ops if o.kind is OpKind.FREE)
+        mallocs = sum(1 for o in ops if o.kind is OpKind.MALLOC)
+        assert 0.3 <= frees / mallocs <= 0.6
+
+    def test_antagonist_emits_evictions(self):
+        ops = list(antagonist.ops(seed=1, num_ops=500))
+        evictions = sum(1 for o in ops if o.kind is OpKind.ANTAGONIZE)
+        mallocs = sum(1 for o in ops if o.kind is OpKind.MALLOC and not o.warmup)
+        assert evictions >= mallocs  # one per measured allocation
+
+    def test_gauss_like_deterministic_per_seed(self):
+        a = list(gauss_free.ops(seed=7, num_ops=300))
+        b = list(gauss_free.ops(seed=7, num_ops=300))
+        c = list(gauss_free.ops(seed=8, num_ops=300))
+        assert a == b
+        assert a != c
+
+    def test_slot_discipline(self):
+        for w in (gauss, gauss_free, antagonist):
+            check_slot_discipline(w.ops(seed=3, num_ops=500))
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        assert set(MICROBENCHMARKS) == {
+            "antagonist",
+            "gauss",
+            "gauss_free",
+            "sized_deletes",
+            "tp",
+            "tp_small",
+        }
+
+    def test_descriptions_present(self):
+        assert all(w.description for w in MICROBENCHMARKS.values())

@@ -1,0 +1,94 @@
+"""Tests for multithreaded workload generators and their runner."""
+
+import pytest
+
+from repro.alloc.constants import AllocatorConfig
+from repro.alloc.multithread import MultiThreadAllocator
+from repro.harness.runner import run_multithreaded
+from repro.workloads.base import OpKind
+from repro.workloads.threads import balanced_churn, producer_consumer, request_fanout
+
+
+def tids_of(workload, n=600):
+    return {op.tid for op in workload.ops(seed=1, num_ops=n)}
+
+
+class TestGenerators:
+    def test_balanced_churn_uses_all_threads(self):
+        assert tids_of(balanced_churn(4)) == {0, 1, 2, 3}
+
+    def test_balanced_churn_frees_own_objects(self):
+        allocated_by = {}
+        for op in balanced_churn(3).ops(seed=2, num_ops=900):
+            if op.kind is OpKind.MALLOC:
+                allocated_by[op.slot] = op.tid
+            elif op.kind is OpKind.FREE_SIZED:
+                assert allocated_by[op.slot] == op.tid
+
+    def test_producer_consumer_roles(self):
+        w = producer_consumer(num_producers=1, num_consumers=2)
+        for op in w.ops(seed=1, num_ops=600):
+            if op.kind is OpKind.MALLOC:
+                assert op.tid == 0
+            elif op.kind is OpKind.FREE:
+                assert op.tid in (1, 2)
+
+    def test_request_fanout_dispatcher_allocates(self):
+        w = request_fanout(num_workers=2)
+        for op in w.ops(seed=1, num_ops=600):
+            if op.kind is OpKind.MALLOC:
+                assert op.tid == 0
+            else:
+                assert op.tid in (1, 2)
+
+    def test_slot_discipline(self):
+        for w in (balanced_churn(2), producer_consumer(), request_fanout()):
+            live = set()
+            for op in w.ops(seed=3, num_ops=800):
+                if op.kind is OpKind.MALLOC:
+                    assert op.slot not in live
+                    live.add(op.slot)
+                else:
+                    assert op.slot in live
+                    live.discard(op.slot)
+
+    def test_deterministic(self):
+        w = producer_consumer()
+        assert list(w.ops(seed=5, num_ops=300)) == list(w.ops(seed=5, num_ops=300))
+
+
+class TestRunner:
+    def _mt(self, n, **kw):
+        return MultiThreadAllocator(n, config=AllocatorConfig(release_rate=0), **kw)
+
+    def test_balanced_run(self):
+        w = balanced_churn(2)
+        result = run_multithreaded(self._mt(2), w.ops(seed=1, num_ops=800), name=w.name)
+        assert result.allocator_cycles > 0
+        assert set(result.per_thread_cycles) == {0, 1}
+
+    def test_producer_consumer_generates_migration(self):
+        w = producer_consumer(1, 1)
+        mt = self._mt(2)
+        run_multithreaded(mt, w.ops(seed=1, num_ops=1000))
+        moved = sum(c.stats.objects_moved_in for c in mt.shared.central_lists)
+        assert moved > 0
+        mt.check_conservation()
+
+    def test_coherent_fanout_produces_transfers(self):
+        w = request_fanout(num_workers=2)
+        mt = self._mt(3, coherent=True)
+        result = run_multithreaded(mt, w.ops(seed=1, num_ops=800))
+        assert result.coherence_transfers > 0
+
+    def test_balanced_cheaper_than_producer_consumer(self):
+        """Owning your frees is the friendly case (Section 2)."""
+        balanced = run_multithreaded(
+            self._mt(2, coherent=True), balanced_churn(2).ops(seed=1, num_ops=1000)
+        )
+        crossing = run_multithreaded(
+            self._mt(2, coherent=True), producer_consumer(1, 1).ops(seed=1, num_ops=1000)
+        )
+        per_call_b = balanced.allocator_cycles / len(balanced.records)
+        per_call_x = crossing.allocator_cycles / len(crossing.records)
+        assert per_call_b < per_call_x
