@@ -90,10 +90,15 @@ class TCMalloc:
         config: AllocatorConfig | None = None,
         ablations: dict[str, frozenset[Tag]] | None = None,
         shared: "SharedPools | None" = None,
+        memoize_traces: bool | None = None,
     ) -> None:
         self.machine = machine or Machine()
         self.config = config or AllocatorConfig()
         self.ablations = dict(ablations or {})
+        if memoize_traces is not None:
+            # Explicit override of the machine's trace-scheduling memoization
+            # (None leaves the CoreConfig default in place).
+            self.machine.timing.set_memoization(memoize_traces)
         if shared is not None:
             # Multithreaded mode: this instance is one thread's view over
             # pools owned by a MultiThreadAllocator.
@@ -329,7 +334,7 @@ class TCMalloc:
             sampled=sampled,
         )
         for name, tags in self.ablations.items():
-            record.ablated[name] = self.machine.timing.run(trace.without_tags(tags)).cycles
+            record.ablated[name] = self.machine.timing.run_ablated(trace, tags).cycles
         self.machine.advance(result.cycles)
         if self.keep_records:
             self.records.append(record)
@@ -353,3 +358,9 @@ class TCMalloc:
     @property
     def live_bytes(self) -> int:
         return sum(size for size, _ in self.live.values())
+
+    @property
+    def trace_cache_stats(self):
+        """Trace-scheduling memoization stats of this core, or ``None`` when
+        memoization is disabled."""
+        return self.machine.timing.cache_stats

@@ -67,6 +67,7 @@ class MultiThreadAllocator:
         context_switch_flushes: bool = True,
         switch_quantum_cycles: int = 1_000_000,
         coherent: bool = False,
+        memoize_traces: bool | None = None,
     ) -> None:
         if num_threads < 1:
             raise ValueError("need at least one thread")
@@ -80,6 +81,10 @@ class MultiThreadAllocator:
             self.machine = machine or Machine()
             self.core_machines = [self.machine] * num_threads
             self.substrate = None
+        if memoize_traces is not None:
+            # Coherent mode runs one TimingModel per core; apply to each.
+            for core in {id(m): m for m in self.core_machines}.values():
+                core.timing.set_memoization(memoize_traces)
         self.config = config or AllocatorConfig()
         self.accelerated = accelerated
         self.context_switch_flushes = context_switch_flushes

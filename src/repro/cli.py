@@ -24,7 +24,7 @@ from repro.core.area import AreaModel
 from repro.harness.ablation import fastpath_breakdown
 from repro.harness.experiments import compare_workload
 from repro.harness.figures import render_series, render_table
-from repro.harness.metrics import classes_for_coverage, median_cycles
+from repro.harness.metrics import classes_for_coverage, median_cycles, trace_cache_summary
 from repro.harness.sweeps import sweep_cache_sizes
 from repro.harness.validation import mean_error, validate
 from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS
@@ -50,10 +50,21 @@ def cmd_list(args: argparse.Namespace) -> None:
 
 def cmd_run(args: argparse.Namespace) -> None:
     workload = _workload_or_die(args.workload)
+    memoize = False if args.no_trace_cache else None
     c = compare_workload(
-        workload, num_ops=args.ops, seed=args.seed, cache_entries=args.entries
+        workload,
+        num_ops=args.ops,
+        seed=args.seed,
+        cache_entries=args.entries,
+        memoize_traces=memoize,
     )
     print(f"workload          : {c.workload}  ({args.ops} ops, seed {args.seed})")
+    cache = trace_cache_summary(c.baseline, c.mallacc)
+    if cache["lookups"]:
+        print(f"trace cache       : {100 * cache['hit_rate']:.1f}% hit rate "
+              f"({cache['hits']:.0f}/{cache['lookups']:.0f} schedules memoized)")
+    else:
+        print("trace cache       : disabled")
     print(f"allocator fraction: {100 * c.allocator_fraction:.2f}%")
     print(f"size classes @90% : {classes_for_coverage(c.baseline.records)}")
     print(f"median malloc     : {median_cycles(c.baseline.records):.0f} -> "
@@ -157,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ops", type=int, default=3000)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--entries", type=int, default=32, help="malloc cache entries")
+    run.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable trace-scheduling memoization (debugging; results are "
+             "bit-identical either way, just slower)",
+    )
     run.set_defaults(fn=cmd_run)
 
     sweep = sub.add_parser("sweep", help="malloc-cache size sweep (Figure 17)")

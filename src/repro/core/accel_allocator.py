@@ -141,6 +141,12 @@ class MallaccTCMalloc(MallaccFastPathMixin, TCMalloc):
         config: AllocatorConfig | None = None,
         cache_config: MallocCacheConfig | None = None,
         ablations=None,
+        memoize_traces: bool | None = None,
     ) -> None:
-        super().__init__(machine=machine, config=config, ablations=ablations)
+        super().__init__(
+            machine=machine,
+            config=config,
+            ablations=ablations,
+            memoize_traces=memoize_traces,
+        )
         self._attach_mallacc(cache_config)

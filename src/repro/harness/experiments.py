@@ -80,18 +80,28 @@ class WorkloadComparison:
         return _pct_improvement(base_total, accel_total)
 
 
-def make_baseline(config: AllocatorConfig | None = None) -> TCMalloc:
+def make_baseline(
+    config: AllocatorConfig | None = None,
+    memoize_traces: bool | None = None,
+) -> TCMalloc:
     """A stock TCMalloc wired for the limit-study ablation."""
-    return TCMalloc(config=config, ablations={LIMIT_ABLATION: LIMIT_STUDY_TAGS})
+    return TCMalloc(
+        config=config,
+        ablations={LIMIT_ABLATION: LIMIT_STUDY_TAGS},
+        memoize_traces=memoize_traces,
+    )
 
 
 def make_mallacc(
     cache_entries: int = 32,
     config: AllocatorConfig | None = None,
     cache_config: MallocCacheConfig | None = None,
+    memoize_traces: bool | None = None,
 ) -> MallaccTCMalloc:
     cache_config = cache_config or MallocCacheConfig(num_entries=cache_entries)
-    return MallaccTCMalloc(config=config, cache_config=cache_config)
+    return MallaccTCMalloc(
+        config=config, cache_config=cache_config, memoize_traces=memoize_traces
+    )
 
 
 def compare_workload(
@@ -102,17 +112,27 @@ def compare_workload(
     config: AllocatorConfig | None = None,
     cache_config: MallocCacheConfig | None = None,
     model_app_traffic: bool = True,
+    memoize_traces: bool | None = None,
 ) -> WorkloadComparison:
-    """Run one workload under baseline and Mallacc and compare."""
+    """Run one workload under baseline and Mallacc and compare.
+
+    ``memoize_traces`` toggles trace-scheduling memoization on both runs
+    (``None`` keeps the :class:`~repro.sim.timing.CoreConfig` default, which
+    is on); results are bit-identical either way — the differential sweep in
+    ``tests/integration/test_trace_cache_differential.py`` enforces it.
+    """
     ops = list(workload.ops(seed=seed, num_ops=num_ops))
 
-    baseline_alloc = make_baseline(config=config)
+    baseline_alloc = make_baseline(config=config, memoize_traces=memoize_traces)
     baseline = run_workload(
         baseline_alloc, ops, name=workload.name, model_app_traffic=model_app_traffic
     )
 
     mallacc_alloc = make_mallacc(
-        cache_entries=cache_entries, config=config, cache_config=cache_config
+        cache_entries=cache_entries,
+        config=config,
+        cache_config=cache_config,
+        memoize_traces=memoize_traces,
     )
     mallacc = run_workload(
         mallacc_alloc, ops, name=workload.name, model_app_traffic=model_app_traffic

@@ -115,6 +115,26 @@ def classes_for_coverage(records: list[CallRecord], coverage: float = 90.0) -> i
     return len(cdf)
 
 
+def trace_cache_summary(*results) -> dict[str, float]:
+    """Aggregate trace-scheduling memoization stats over run results.
+
+    Accepts any objects carrying ``trace_cache_hits``/``trace_cache_misses``
+    (:class:`~repro.harness.runner.RunResult`,
+    :class:`~repro.harness.runner.MultiThreadRunResult`); returns hits,
+    misses, lookups, and the pooled hit rate.  All zeros means memoization
+    was disabled (or nothing was scheduled).
+    """
+    hits = sum(r.trace_cache_hits for r in results)
+    misses = sum(r.trace_cache_misses for r in results)
+    lookups = hits + misses
+    return {
+        "hits": float(hits),
+        "misses": float(misses),
+        "lookups": float(lookups),
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
 def mean_cycles(records: list[CallRecord], malloc_only: bool = True, fast_only: bool = False) -> float:
     sel = [
         r

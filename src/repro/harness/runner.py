@@ -29,6 +29,18 @@ class RunResult:
     app_cycles: int = 0
     warmup_calls: int = 0
     warmup_cycles: int = 0
+    trace_cache_hits: int = 0
+    """Trace-scheduling memoization hits during this replay (0 if disabled)."""
+    trace_cache_misses: int = 0
+
+    @property
+    def trace_cache_lookups(self) -> int:
+        return self.trace_cache_hits + self.trace_cache_misses
+
+    @property
+    def trace_cache_hit_rate(self) -> float:
+        lookups = self.trace_cache_lookups
+        return self.trace_cache_hits / lookups if lookups else 0.0
 
     # -- aggregate cycle counts -------------------------------------------
     @property
@@ -76,6 +88,32 @@ class RunResult:
         return fast / total
 
 
+def _cache_snapshots(machines) -> list[tuple[int, int]]:
+    """(hits, misses) per distinct timing model, for delta accounting."""
+    snaps = []
+    for machine in _distinct_machines(machines):
+        stats = machine.timing.cache_stats
+        snaps.append(stats.snapshot() if stats is not None else (0, 0))
+    return snaps
+
+
+def _cache_delta(machines, before: list[tuple[int, int]]) -> tuple[int, int]:
+    hits = misses = 0
+    for machine, (h0, m0) in zip(_distinct_machines(machines), before):
+        stats = machine.timing.cache_stats
+        if stats is None:
+            continue
+        h1, m1 = stats.snapshot()
+        hits += h1 - h0
+        misses += m1 - m0
+    return hits, misses
+
+
+def _distinct_machines(machines) -> list:
+    """Machines deduplicated by identity (threads may share one core)."""
+    return list({id(m): m for m in machines}.values())
+
+
 def run_workload(
     allocator: TCMalloc,
     ops: Iterable[Op],
@@ -92,6 +130,7 @@ def run_workload(
     result = RunResult(workload=name)
     slots: dict[int, int] = {}
     app_offset = 0
+    cache_before = _cache_snapshots([machine])
 
     for op in ops:
         if op.kind is OpKind.ANTAGONIZE:
@@ -109,13 +148,17 @@ def run_workload(
             app_offset = (app_offset + op.app_lines * 64) % _APP_REGION_BYTES
 
         if op.kind is OpKind.MALLOC:
-            ptr, record = allocator.malloc(op.size)
             if op.slot in slots:
                 raise ValueError(f"workload reused live slot {op.slot}")
+            ptr, record = allocator.malloc(op.size)
             slots[op.slot] = ptr
         elif op.kind is OpKind.FREE:
+            if op.slot not in slots:
+                raise ValueError(f"workload freed unknown or dead slot {op.slot}")
             record = allocator.free(slots.pop(op.slot))
         elif op.kind is OpKind.FREE_SIZED:
+            if op.slot not in slots:
+                raise ValueError(f"workload freed unknown or dead slot {op.slot}")
             record = allocator.sized_free(slots.pop(op.slot), op.size)
         else:  # pragma: no cover - exhaustive over OpKind
             raise ValueError(f"unknown op kind {op.kind}")
@@ -126,6 +169,9 @@ def run_workload(
         else:
             result.records.append(record)
 
+    result.trace_cache_hits, result.trace_cache_misses = _cache_delta(
+        [machine], cache_before
+    )
     return result
 
 
@@ -138,10 +184,23 @@ class MultiThreadRunResult:
     per_thread_cycles: dict[int, int] = field(default_factory=dict)
     contention_cycles: int = 0
     coherence_transfers: int = 0
+    trace_cache_hits: int = 0
+    """Memoization hits summed over all cores (coherent mode has one
+    timing model per core)."""
+    trace_cache_misses: int = 0
 
     @property
     def allocator_cycles(self) -> int:
         return sum(r.cycles for r in self.records)
+
+    @property
+    def trace_cache_lookups(self) -> int:
+        return self.trace_cache_hits + self.trace_cache_misses
+
+    @property
+    def trace_cache_hit_rate(self) -> float:
+        lookups = self.trace_cache_lookups
+        return self.trace_cache_hits / lookups if lookups else 0.0
 
 
 def run_multithreaded(mt_allocator, ops, name: str = "") -> MultiThreadRunResult:
@@ -151,6 +210,8 @@ def run_multithreaded(mt_allocator, ops, name: str = "") -> MultiThreadRunResult
 
     result = MultiThreadRunResult(workload=name)
     slots: dict[int, int] = {}
+    machines = getattr(mt_allocator, "core_machines", [mt_allocator.machine])
+    cache_before = _cache_snapshots(machines)
     for op in ops:
         if op.kind is _OpKind.ANTAGONIZE:
             mt_allocator.machine.hierarchy.antagonize()
@@ -158,12 +219,17 @@ def run_multithreaded(mt_allocator, ops, name: str = "") -> MultiThreadRunResult
         if op.gap_cycles:
             mt_allocator.machine.advance(op.gap_cycles)
         if op.kind is _OpKind.MALLOC:
+            if op.slot in slots:
+                raise ValueError(f"workload reused live slot {op.slot}")
             ptr, record = mt_allocator.malloc(op.tid, op.size)
             slots[op.slot] = ptr
-        elif op.kind is _OpKind.FREE:
-            record = mt_allocator.free(op.tid, slots.pop(op.slot))
-        elif op.kind is _OpKind.FREE_SIZED:
-            record = mt_allocator.sized_free(op.tid, slots.pop(op.slot), op.size)
+        elif op.kind in (_OpKind.FREE, _OpKind.FREE_SIZED):
+            if op.slot not in slots:
+                raise ValueError(f"workload freed unknown or dead slot {op.slot}")
+            if op.kind is _OpKind.FREE:
+                record = mt_allocator.free(op.tid, slots.pop(op.slot))
+            else:
+                record = mt_allocator.sized_free(op.tid, slots.pop(op.slot), op.size)
         else:  # pragma: no cover - exhaustive
             raise ValueError(f"unknown op kind {op.kind}")
         if not op.warmup:
@@ -171,6 +237,9 @@ def run_multithreaded(mt_allocator, ops, name: str = "") -> MultiThreadRunResult
             result.per_thread_cycles[op.tid] = (
                 result.per_thread_cycles.get(op.tid, 0) + record.cycles
             )
+    result.trace_cache_hits, result.trace_cache_misses = _cache_delta(
+        machines, cache_before
+    )
     result.contention_cycles = mt_allocator.contention_cycles()
     stats = mt_allocator.coherence_stats()
     if stats is not None:

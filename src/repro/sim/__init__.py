@@ -22,6 +22,7 @@ from repro.sim.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.sim.memory import SimulatedMemory, VirtualAddressSpace
 from repro.sim.timing import CoreConfig, TimingModel, TimingResult
 from repro.sim.tlb import TLB, TLBConfig
+from repro.sim.trace_cache import TraceCache, TraceCacheStats
 from repro.sim.uop import Tag, Trace, TraceBuilder, Uop, UopKind
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "TLB",
     "TLBConfig",
     "Trace",
+    "TraceCache",
+    "TraceCacheStats",
     "TraceBuilder",
     "Uop",
     "UopKind",

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.uop import Trace, UopKind
+from repro.sim.trace_cache import DEFAULT_TRACE_CACHE_ENTRIES, TraceCache, TraceCacheStats
+from repro.sim.uop import Tag, Trace, UopKind
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,9 @@ class CoreConfig:
     caps how much latency a long dependent slow-path loop can hide."""
     pipeline_overhead: int = 2
     """Front-end cycles charged once per call (call/return, fetch redirect)."""
+    trace_cache_entries: int = DEFAULT_TRACE_CACHE_ENTRIES
+    """LRU capacity of the trace-scheduling memoization cache; 0 disables
+    memoization (every trace is scheduled from scratch)."""
 
 
 @dataclass
@@ -59,17 +63,72 @@ class TimingResult:
 
 
 class TimingModel:
-    """Schedules traces; stateless between calls apart from configuration."""
+    """Schedules traces; the only state beyond configuration is the
+    memoization cache, which by construction never changes an answer."""
 
     def __init__(self, config: CoreConfig | None = None) -> None:
         self.config = config or CoreConfig()
+        self.cache: TraceCache | None = (
+            TraceCache(self.config.trace_cache_entries)
+            if self.config.trace_cache_entries > 0
+            else None
+        )
+
+    # ------------------------------------------------------------ memoization
+    def set_memoization(self, enabled: bool) -> None:
+        """Toggle trace-cache memoization on this model.
+
+        Enabling starts from an empty cache; disabling drops the cache (its
+        stats with it), so a later enable measures fresh."""
+        if enabled and self.cache is None:
+            entries = self.config.trace_cache_entries or DEFAULT_TRACE_CACHE_ENTRIES
+            self.cache = TraceCache(entries)
+        elif not enabled:
+            self.cache = None
+
+    @property
+    def cache_stats(self) -> TraceCacheStats | None:
+        """Lifetime hit/miss/eviction stats, or ``None`` when disabled."""
+        return self.cache.stats if self.cache is not None else None
 
     def run(self, trace: Trace) -> TimingResult:
         """Schedule ``trace`` and return its cycle count.
 
         The returned ``cycles`` includes a small fixed pipeline overhead so
-        an empty trace still costs a call/return.
+        an empty trace still costs a call/return.  Results are memoized by
+        the trace's canonical fingerprint and may be shared objects — treat
+        them as immutable.
         """
+        cache = self.cache
+        if cache is None:
+            return self._schedule(trace)
+        key = trace.fingerprint()
+        result = cache.get(key)
+        if result is None:
+            result = self._schedule(trace)
+            cache.put(key, result)
+        return result
+
+    def run_ablated(self, trace: Trace, tags: frozenset[Tag] | set[Tag]) -> TimingResult:
+        """Schedule ``trace`` with all ops carrying ``tags`` removed.
+
+        Memoized on ``(fingerprint, tags)`` so a hit skips both the
+        :meth:`~repro.sim.uop.Trace.without_tags` rewrite and the schedule —
+        this is what keeps the limit-study ablation from doubling a
+        baseline replay's cost."""
+        tags = frozenset(tags)
+        cache = self.cache
+        if cache is None:
+            return self._schedule(trace.without_tags(tags))
+        key = (trace.fingerprint(), tags)
+        result = cache.get(key)
+        if result is None:
+            result = self._schedule(trace.without_tags(tags))
+            cache.put(key, result)
+        return result
+
+    # --------------------------------------------------------------- schedule
+    def _schedule(self, trace: Trace) -> TimingResult:
         width = self.config.issue_width
         issue_times: list[int] = []
         ready_times: list[int] = []

@@ -69,7 +69,11 @@ class Uop:
 
 @dataclass
 class Trace:
-    """An ordered list of micro-ops for one allocator call."""
+    """An ordered list of micro-ops for one allocator call.
+
+    Traces are immutable once built (the builder hands over its list); the
+    canonical fingerprint is computed lazily and cached on the instance.
+    """
 
     uops: list[Uop] = field(default_factory=list)
 
@@ -78,6 +82,28 @@ class Trace:
 
     def __iter__(self):
         return iter(self.uops)
+
+    def fingerprint(self) -> tuple:
+        """Canonical scheduling identity: ``(kind, latency, deps, tag)`` per
+        micro-op.
+
+        :meth:`repro.sim.timing.TimingModel.run` reads exactly ``kind``,
+        ``latency`` and ``deps``; ``tag`` is included so the same key also
+        identifies every :meth:`without_tags` ablation variant.  Addresses
+        are deliberately excluded — they priced the load at emission time
+        and do not influence scheduling.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            # _value_ avoids the DynamicClassAttribute descriptor on .value,
+            # and the listcomp beats a genexpr — fingerprinting sits on the
+            # memoization hit path and must stay an order of magnitude
+            # cheaper than scheduling.
+            fp = tuple(
+                [(u.kind._value_, u.latency, u.deps, u.tag._value_) for u in self.uops]
+            )
+            self._fingerprint = fp
+        return fp
 
     def count(self, kind: UopKind) -> int:
         return sum(1 for u in self.uops if u.kind is kind)
@@ -133,9 +159,14 @@ class TraceBuilder:
 
     def __init__(self) -> None:
         self._uops: list[Uop] = []
+        self._keys: list[tuple] = []
 
     def _emit(self, uop: Uop) -> int:
         self._uops.append(uop)
+        # Accumulate the scheduling fingerprint as ops are emitted: the
+        # fields are in hand here, which makes Trace.fingerprint() O(1) on
+        # the memoization hit path (see repro.sim.trace_cache).
+        self._keys.append((uop.kind._value_, uop.latency, uop.deps, uop.tag._value_))
         return len(self._uops) - 1
 
     def alu(self, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING, latency: int = 1) -> int:
@@ -168,4 +199,6 @@ class TraceBuilder:
         return len(self._uops) - 1
 
     def build(self) -> Trace:
-        return Trace(uops=self._uops)
+        trace = Trace(uops=self._uops)
+        trace._fingerprint = tuple(self._keys)
+        return trace

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.alloc import TCMalloc
-from repro.harness.runner import RunResult, run_workload
+from repro.alloc.multithread import MultiThreadAllocator
+from repro.harness.runner import RunResult, run_multithreaded, run_workload
 from repro.workloads.base import Op, OpKind
 
 
@@ -56,8 +57,35 @@ class TestRunner:
             run_workload(TCMalloc(), ops)
 
     def test_free_of_unknown_slot_raises(self):
-        with pytest.raises(KeyError):
+        """A malformed workload must surface as a ValueError naming the
+        slot, not a bare KeyError from the slot-table pop."""
+        with pytest.raises(ValueError, match="slot 9"):
             run_workload(TCMalloc(), [Op(OpKind.FREE, size=64, slot=9)])
+
+    def test_sized_free_of_unknown_slot_raises(self):
+        with pytest.raises(ValueError, match="slot 9"):
+            run_workload(TCMalloc(), [Op(OpKind.FREE_SIZED, size=64, slot=9)])
+
+    def test_double_free_raises(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0),
+            Op(OpKind.FREE, size=64, slot=0),
+            Op(OpKind.FREE, size=64, slot=0),
+        ]
+        with pytest.raises(ValueError, match="slot 0"):
+            run_workload(TCMalloc(), ops)
+
+    def test_slot_reuse_rejected_before_allocating(self):
+        """The reuse check fires before the malloc call, so the offending op
+        must not leak an allocation or a record."""
+        alloc = TCMalloc()
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0),
+            Op(OpKind.MALLOC, size=64, slot=0),
+        ]
+        with pytest.raises(ValueError):
+            run_workload(alloc, ops)
+        assert len(alloc.live) == 1
 
     def test_antagonize_op_evicts(self):
         alloc = TCMalloc()
@@ -118,3 +146,131 @@ class TestRunResultMetrics:
     def test_ablated_cycles_default_to_measured(self):
         r = self._result()
         assert r.ablated_allocator_cycles("nonexistent") == r.allocator_cycles
+
+
+class TestMultithreadedGuards:
+    """run_multithreaded must reject malformed streams exactly like
+    run_workload does (it historically accepted live-slot reuse and let
+    unknown-slot frees escape as bare KeyErrors)."""
+
+    def _mt(self):
+        return MultiThreadAllocator(2)
+
+    def test_slot_reuse_rejected(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, tid=0),
+            Op(OpKind.MALLOC, size=64, slot=0, tid=1),
+        ]
+        with pytest.raises(ValueError, match="slot 0"):
+            run_multithreaded(self._mt(), ops)
+
+    def test_free_of_unknown_slot_raises_value_error(self):
+        with pytest.raises(ValueError, match="slot 3"):
+            run_multithreaded(self._mt(), [Op(OpKind.FREE, size=64, slot=3, tid=0)])
+
+    def test_sized_free_of_unknown_slot_raises_value_error(self):
+        with pytest.raises(ValueError, match="slot 3"):
+            run_multithreaded(
+                self._mt(), [Op(OpKind.FREE_SIZED, size=64, slot=3, tid=1)]
+            )
+
+    def test_double_free_raises(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, tid=0),
+            Op(OpKind.FREE, size=64, slot=0, tid=0),
+            Op(OpKind.FREE, size=64, slot=0, tid=1),
+        ]
+        with pytest.raises(ValueError, match="slot 0"):
+            run_multithreaded(self._mt(), ops)
+
+    def test_well_formed_stream_still_runs(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, tid=0),
+            Op(OpKind.MALLOC, size=128, slot=1, tid=1),
+            Op(OpKind.FREE, size=64, slot=0, tid=0),
+            Op(OpKind.FREE_SIZED, size=128, slot=1, tid=1),
+        ]
+        result = run_multithreaded(self._mt(), ops, name="mt")
+        assert len(result.records) == 4
+
+
+class TestWarmupAccounting:
+    """RunResult must partition warmup and measured work exactly: warmup
+    calls/cycles accumulate in warmup_* and never leak into records or
+    app_cycles, regardless of how the two phases interleave."""
+
+    def _warmup_pair(self, slot):
+        return [
+            Op(OpKind.MALLOC, size=64, slot=slot, warmup=True),
+            Op(OpKind.FREE, size=64, slot=slot, warmup=True),
+        ]
+
+    def test_warmup_cycles_match_sum_of_warmup_calls(self):
+        """Replay the same stream with warmup flags off to recover the
+        per-call costs the warmup run hid, and check the sums agree."""
+        base = [
+            Op(OpKind.MALLOC, size=64, slot=0),
+            Op(OpKind.FREE, size=64, slot=0),
+            Op(OpKind.MALLOC, size=256, slot=1),
+        ]
+        flagged = [
+            Op(o.kind, size=o.size, slot=o.slot, warmup=(i < 2))
+            for i, o in enumerate(base)
+        ]
+        all_measured = run_workload(TCMalloc(), base)
+        mixed = run_workload(TCMalloc(), flagged)
+        assert mixed.warmup_calls == 2
+        assert mixed.warmup_cycles == sum(
+            r.cycles for r in all_measured.records[:2]
+        )
+        assert [r.cycles for r in mixed.records] == [
+            r.cycles for r in all_measured.records[2:]
+        ]
+
+    def test_interleaved_warmup_and_measured(self):
+        """Warmup ops scattered *between* measured ops (not just a prefix)
+        are still excluded from records and app_cycles."""
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, gap_cycles=500, warmup=True),
+            Op(OpKind.MALLOC, size=64, slot=1, gap_cycles=10),
+            Op(OpKind.FREE, size=64, slot=0, gap_cycles=700, warmup=True),
+            Op(OpKind.MALLOC, size=64, slot=2, gap_cycles=20),
+            Op(OpKind.FREE, size=64, slot=1, gap_cycles=900, warmup=True),
+            Op(OpKind.FREE, size=64, slot=2, gap_cycles=30),
+        ]
+        result = run_workload(TCMalloc(), ops)
+        assert result.warmup_calls == 3
+        assert result.warmup_cycles > 0
+        assert len(result.records) == 3
+        assert [r.kind for r in result.records] == ["malloc", "malloc", "free"]
+        assert result.app_cycles == 60  # warmup gaps (500+700+900) excluded
+
+    def test_warmup_total_partition(self):
+        """warmup_cycles + allocator_cycles covers every call made."""
+        ops = self._warmup_pair(0) + [
+            Op(OpKind.MALLOC, size=64, slot=1),
+            Op(OpKind.FREE, size=64, slot=1),
+        ]
+        alloc = TCMalloc()
+        result = run_workload(alloc, ops)
+        assert result.warmup_calls + len(result.records) == 4
+        assert result.warmup_cycles > 0
+        assert result.allocator_cycles > 0
+
+    def test_all_warmup_stream_yields_empty_result(self):
+        result = run_workload(TCMalloc(), self._warmup_pair(0))
+        assert result.records == []
+        assert result.warmup_calls == 2
+        assert result.allocator_cycles == 0
+        assert result.allocator_fraction == 0.0
+
+    def test_multithreaded_warmup_excluded(self):
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, tid=0, warmup=True),
+            Op(OpKind.MALLOC, size=64, slot=1, tid=1),
+            Op(OpKind.FREE, size=64, slot=0, tid=0, warmup=True),
+            Op(OpKind.FREE, size=64, slot=1, tid=1),
+        ]
+        result = run_multithreaded(MultiThreadAllocator(2), ops)
+        assert len(result.records) == 2
+        assert set(result.per_thread_cycles) == {1}

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.timing import CoreConfig, TimingModel
-from repro.sim.uop import Tag, Trace, TraceBuilder, UopKind
+from repro.sim.uop import Tag, Trace, TraceBuilder, Uop, UopKind
 
 
 @st.composite
@@ -43,6 +43,21 @@ TM = TimingModel(CoreConfig())
 @settings(max_examples=60, deadline=None)
 def test_cycles_at_least_critical_path(trace):
     assert TM.run(trace).cycles >= TM.critical_path(trace)
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_cycles_at_least_critical_path_plus_overhead(trace):
+    """Tighter bound: the per-call pipeline overhead is charged on top of
+    the schedule, so it adds to the dependence-chain lower bound too."""
+    assert TM.run(trace).cycles >= TM.critical_path(trace) + TM.config.pipeline_overhead
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_ipc_never_exceeds_issue_width(trace):
+    result = TM.run(trace)
+    assert result.ipc <= TM.config.issue_width
 
 
 @given(traces())
@@ -84,6 +99,52 @@ def test_ablation_never_slower_without_resource_limits(trace, tags):
     full = wide.run(trace).cycles
     ablated = wide.run(trace.without_tags(tags)).cycles
     assert ablated <= full
+
+
+def _with_extra_edge(trace, target, source):
+    """Copy of ``trace`` with a dependence ``source -> target`` added."""
+    uops = []
+    for i, u in enumerate(trace):
+        deps = u.deps
+        if i == target and source not in deps:
+            deps = tuple(sorted(deps + (source,)))
+        uops.append(Uop(kind=u.kind, deps=deps, addr=u.addr, latency=u.latency, tag=u.tag))
+    return Trace(uops=uops)
+
+
+@st.composite
+def traces_with_edge(draw):
+    """A trace of >= 2 uops plus a backward edge to add to it."""
+    trace = draw(traces().filter(lambda t: len(t) >= 2))
+    target = draw(st.integers(min_value=1, max_value=len(trace) - 1))
+    source = draw(st.integers(min_value=0, max_value=target - 1))
+    return trace, target, source
+
+
+WIDE = TimingModel(CoreConfig(issue_width=10**6, load_ports=10**6, store_ports=10**6))
+
+
+@given(traces_with_edge())
+@settings(max_examples=60, deadline=None)
+def test_extra_edge_monotone_without_resource_limits(case):
+    """With unbounded issue resources the schedule is the pure dependence
+    critical path, and adding a constraint is strictly monotone: cycles
+    never decrease."""
+    trace, target, source = case
+    assert WIDE.run(_with_extra_edge(trace, target, source)).cycles >= WIDE.run(trace).cycles
+
+
+@given(traces_with_edge())
+@settings(max_examples=60, deadline=None)
+def test_extra_edge_rarely_faster(case):
+    """Under port constraints greedy list scheduling exhibits Graham's
+    anomalies — adding a dependence edge can occasionally *shorten* the
+    schedule by delaying an op past a port conflict.  Bound the anomaly
+    rather than forbid it (mirroring test_ablation_rarely_slower)."""
+    trace, target, source = case
+    base = TM.run(trace).cycles
+    constrained = TM.run(_with_extra_edge(trace, target, source)).cycles
+    assert constrained >= base - max(4, base // 4)
 
 
 @given(traces())
