@@ -49,9 +49,20 @@ class _ThreadView(MallaccFastPathMixin, TCMalloc):
 
 @dataclass
 class ThreadStats:
+    """Measured per-thread call counts; warmup traffic is kept separate so
+    ``cycles`` stays a sum over *measured* calls only (parity with
+    :class:`~repro.harness.runner.RunResult`)."""
+
     mallocs: int = 0
     frees: int = 0
     cycles: int = 0
+    warmup_mallocs: int = 0
+    warmup_frees: int = 0
+    warmup_cycles: int = 0
+
+    @property
+    def warmup_calls(self) -> int:
+        return self.warmup_mallocs + self.warmup_frees
 
 
 class MultiThreadAllocator:
@@ -126,12 +137,21 @@ class MultiThreadAllocator:
         """Timer-quantum preemption: threads occupy their own cores, and a
         preemption (context switch on every core) fires each time the global
         clock crosses a quantum boundary, flushing the per-core malloc
-        caches."""
+        caches.
+
+        Boundaries stay pinned to whole multiples of the quantum — the next
+        deadline advances by however many quanta the clock crossed, never by
+        ``clock + quantum`` (which would let the timer drift by each call's
+        latency).  A long application gap that crosses several boundaries
+        counts one context switch per boundary; the cache flush itself is
+        idempotent, so it runs once."""
         self.running_tid = tid
         if self.machine.clock < self._next_preemption:
             return
-        self._next_preemption = self.machine.clock + self.switch_quantum_cycles
-        self.context_switches += 1
+        quantum = self.switch_quantum_cycles
+        crossed = (self.machine.clock - self._next_preemption) // quantum + 1
+        self._next_preemption += crossed * quantum
+        self.context_switches += crossed
         if self.context_switch_flushes and self.accelerated:
             for view in self.threads:
                 view.context_switch()
@@ -146,25 +166,30 @@ class MultiThreadAllocator:
         for m in self.core_machines:
             m.clock = now
 
-    def malloc(self, tid: int, size: int) -> tuple[int, CallRecord]:
+    def malloc(self, tid: int, size: int, warmup: bool = False) -> tuple[int, CallRecord]:
         self._check_tid(tid)
         self._schedule(tid)
         ptr, record = self.threads[tid].malloc(size)
         self._sync_clocks()
         self.owner[ptr] = tid
-        self.stats[tid].mallocs += 1
-        self.stats[tid].cycles += record.cycles
+        stats = self.stats[tid]
+        if warmup:
+            stats.warmup_mallocs += 1
+            stats.warmup_cycles += record.cycles
+        else:
+            stats.mallocs += 1
+            stats.cycles += record.cycles
         return ptr, record
 
-    def free(self, tid: int, ptr: int) -> CallRecord:
+    def free(self, tid: int, ptr: int, warmup: bool = False) -> CallRecord:
         """Free from any thread: the object joins ``tid``'s cache (TCMalloc's
         cross-thread semantics)."""
-        return self._free(tid, ptr, sized=None)
+        return self._free(tid, ptr, sized=None, warmup=warmup)
 
-    def sized_free(self, tid: int, ptr: int, size: int) -> CallRecord:
-        return self._free(tid, ptr, sized=size)
+    def sized_free(self, tid: int, ptr: int, size: int, warmup: bool = False) -> CallRecord:
+        return self._free(tid, ptr, sized=size, warmup=warmup)
 
-    def _free(self, tid: int, ptr: int, sized: int | None) -> CallRecord:
+    def _free(self, tid: int, ptr: int, sized: int | None, warmup: bool = False) -> CallRecord:
         self._check_tid(tid)
         self._schedule(tid)
         owner_tid = self.owner.pop(ptr, None)
@@ -177,9 +202,27 @@ class MultiThreadAllocator:
         freer.live[ptr] = entry
         record = freer.sized_free(ptr, sized) if sized is not None else freer.free(ptr)
         self._sync_clocks()
-        self.stats[tid].frees += 1
-        self.stats[tid].cycles += record.cycles
+        stats = self.stats[tid]
+        if warmup:
+            stats.warmup_frees += 1
+            stats.warmup_cycles += record.cycles
+        else:
+            stats.frees += 1
+            stats.cycles += record.cycles
         return record
+
+    def antagonize(self) -> int:
+        """Run the antagonist's eviction callback machine-wide: evict the
+        less-used half of *every* core's private L1/L2 exactly once, plus the
+        shared L3 once in coherent mode (the cores alias one hierarchy in
+        flat mode, where its L3 is private and stays untouched for parity
+        with the single-threaded runner).  Returns lines evicted."""
+        evicted = 0
+        for machine in {id(m): m for m in self.core_machines}.values():
+            evicted += machine.hierarchy.antagonize()
+        if self.substrate is not None:
+            evicted += self.substrate.l3.evict_less_used_half()
+        return evicted
 
     def _check_tid(self, tid: int) -> None:
         if not 0 <= tid < len(self.threads):

@@ -6,6 +6,9 @@ regenerated without writing code:
 * ``list``        — available workloads;
 * ``run``         — one workload under baseline + Mallacc, summary numbers;
 * ``sweep``       — malloc-cache size sensitivity for one workload (Fig. 17);
+* ``matrix``      — shard a workload × cache-size matrix across worker
+  processes (``--jobs N``), with per-cell checkpoints (``--checkpoint-dir``)
+  and crash-safe resumption (``--resume``);
 * ``breakdown``   — fast-path component costs for a microbenchmark (Fig. 4);
 * ``area``        — the Section 6.4 area model;
 * ``validate``    — the Table 1 simulator validation;
@@ -18,6 +21,7 @@ regenerated without writing code:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.area import AreaModel
@@ -79,7 +83,15 @@ def cmd_run(args: argparse.Namespace) -> None:
 def cmd_sweep(args: argparse.Namespace) -> None:
     workload = _workload_or_die(args.workload)
     sizes = tuple(int(s) for s in args.sizes.split(","))
-    result = sweep_cache_sizes(workload, sizes=sizes, num_ops=args.ops, seed=args.seed)
+    result = sweep_cache_sizes(
+        workload,
+        sizes=sizes,
+        num_ops=args.ops,
+        seed=args.seed,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     print(
         render_series(
             list(sizes),
@@ -147,11 +159,71 @@ def cmd_trace_run(args: argparse.Namespace) -> None:
           f"{median_cycles(c.mallacc.records):.0f} cycles")
 
 
+def cmd_matrix(args: argparse.Namespace) -> None:
+    """Shard a (workload × cache-size) experiment matrix across workers."""
+    from repro.harness.parallel import build_matrix, matrix_to_json, run_matrix
+
+    names = (
+        list(ALL_WORKLOADS)
+        if args.workloads == "all"
+        else [w.strip() for w in args.workloads.split(",") if w.strip()]
+    )
+    for name in names:
+        _workload_or_die(name)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    cells = build_matrix(names, cache_sizes=sizes, num_ops=args.ops, base_seed=args.seed)
+
+    def progress(event: dict) -> None:
+        if not args.quiet:
+            print(json.dumps(event, sort_keys=True), file=sys.stderr)
+
+    result = run_matrix(
+        cells,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        progress=progress,
+    )
+    payload = matrix_to_json(result)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"matrix data written to {args.out}")
+    else:
+        print(payload)
+    s = result.stats
+    print(
+        f"cells: {s.cells_done} done, {s.cells_resumed} resumed, "
+        f"{s.cells_retried} retried, {s.cells_quarantined} quarantined "
+        f"in {s.wall_seconds:.1f}s "
+        f"(trace cache {100 * s.trace_cache['hit_rate']:.1f}% hit rate)"
+    )
+    if result.quarantined:
+        for cell_id, error in result.quarantined.items():
+            print(f"QUARANTINED {cell_id}: {error}", file=sys.stderr)
+        sys.exit(1)
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     from repro.harness.report import generate_report
 
     generate_report(args.out, ops=args.ops, seed=args.seed)
     print(f"report written to {args.out}")
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (>1 shards cells via repro.harness.parallel)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for per-cell JSON checkpoints (enables resumption)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already checkpointed in --checkpoint-dir",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,7 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sizes", default="2,4,8,16,32")
     sweep.add_argument("--ops", type=int, default=1500)
     sweep.add_argument("--seed", type=int, default=1)
+    _add_parallel_args(sweep)
     sweep.set_defaults(fn=cmd_sweep)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="shard a workload x cache-size matrix across worker processes",
+    )
+    matrix.add_argument(
+        "--workloads", default="all",
+        help="comma-separated workload names, or 'all'",
+    )
+    matrix.add_argument("--sizes", default="32")
+    matrix.add_argument("--ops", type=int, default=1500)
+    matrix.add_argument("--seed", type=int, default=1)
+    matrix.add_argument("--out", default=None, help="write figure/table JSON here")
+    matrix.add_argument("--quiet", action="store_true",
+                        help="suppress the structured progress stream on stderr")
+    _add_parallel_args(matrix)
+    matrix.set_defaults(fn=cmd_matrix)
 
     breakdown = sub.add_parser("breakdown", help="fast-path components (Figure 4)")
     breakdown.add_argument("workload")

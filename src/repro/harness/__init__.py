@@ -7,6 +7,8 @@ tables and figures.
 * :mod:`repro.harness.experiments` — baseline vs Mallacc vs limit-study
   comparisons (Figures 13, 14, 18);
 * :mod:`repro.harness.sweeps` — malloc-cache size sensitivity (Figure 17);
+* :mod:`repro.harness.parallel` — sharded, checkpointed, fault-tolerant
+  execution of whole experiment matrices across worker processes;
 * :mod:`repro.harness.validation` — simulator-vs-analytic-model error
   (Table 1);
 * :mod:`repro.harness.stats` — full-program speedup with Student's t
@@ -20,13 +22,23 @@ from repro.harness.metrics import (
     size_class_cdf,
     time_weighted_cdf,
 )
+from repro.harness.parallel import (
+    MatrixResult,
+    SweepCell,
+    build_matrix,
+    run_matrix,
+)
 from repro.harness.runner import RunResult, run_workload
 
 __all__ = [
+    "MatrixResult",
     "RunResult",
+    "SweepCell",
     "WorkloadComparison",
+    "build_matrix",
     "compare_workload",
     "duration_histogram",
+    "run_matrix",
     "run_workload",
     "size_class_cdf",
     "time_weighted_cdf",

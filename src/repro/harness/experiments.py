@@ -146,6 +146,34 @@ def compare_workload(
     )
 
 
+def summarize_comparison(c: WorkloadComparison) -> dict[str, float | int]:
+    """The canonical scalar figure/table payload of one comparison.
+
+    Both the serial path and the sharded :mod:`repro.harness.parallel` path
+    reduce a :class:`WorkloadComparison` through this one function, so their
+    outputs are comparable byte-for-byte after JSON serialization.
+    """
+    from repro.harness.metrics import classes_for_coverage, median_cycles
+
+    return {
+        "allocator_improvement": c.allocator_improvement,
+        "allocator_limit_improvement": c.allocator_limit_improvement,
+        "malloc_improvement": c.malloc_improvement,
+        "malloc_limit_improvement": c.malloc_limit_improvement,
+        "allocator_fraction": c.allocator_fraction,
+        "program_speedup": c.program_speedup,
+        "median_malloc_baseline": median_cycles(c.baseline.records),
+        "median_malloc_mallacc": median_cycles(c.mallacc.records),
+        "classes_at_90": classes_for_coverage(c.baseline.records),
+        "baseline_allocator_cycles": c.baseline.allocator_cycles,
+        "mallacc_allocator_cycles": c.mallacc.allocator_cycles,
+        "trace_cache_hits": c.baseline.trace_cache_hits + c.mallacc.trace_cache_hits,
+        "trace_cache_misses": (
+            c.baseline.trace_cache_misses + c.mallacc.trace_cache_misses
+        ),
+    }
+
+
 def geomean(values: list[float]) -> float:
     """Geometric mean of improvement percentages (as the paper reports),
     computed on the speedup ratios to tolerate near-zero entries."""

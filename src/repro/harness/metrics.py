@@ -9,7 +9,7 @@ number of distinct size classes, most-used first.
 
 from __future__ import annotations
 
-import math
+import bisect
 from dataclasses import dataclass
 
 from repro.alloc.allocator import CallRecord
@@ -34,15 +34,22 @@ class Histogram:
 
     def peak_bins(self, min_share: float = 5.0) -> list[tuple[float, float, float]]:
         """Local maxima holding at least ``min_share``% of time, as
-        (lo_edge, hi_edge, share%) — used to locate Figure 1's three peaks."""
+        (lo_edge, hi_edge, share%) — used to locate Figure 1's three peaks.
+
+        A run of equal-height bins (a plateau) is one peak, reported once
+        and spanning the whole run, not once per bin."""
         peaks = []
-        for i, w in enumerate(self.weights):
-            if w < min_share:
-                continue
+        i, n = 0, len(self.weights)
+        while i < n:
+            w = self.weights[i]
+            j = i
+            while j + 1 < n and self.weights[j + 1] == w:
+                j += 1
             left = self.weights[i - 1] if i > 0 else 0.0
-            right = self.weights[i + 1] if i + 1 < len(self.weights) else 0.0
-            if w >= left and w >= right:
-                peaks.append((self.bin_edges[i], self.bin_edges[i + 1], w))
+            right = self.weights[j + 1] if j + 1 < n else 0.0
+            if w >= min_share and w >= left and w >= right:
+                peaks.append((self.bin_edges[i], self.bin_edges[j + 1], w))
+            i = j + 1
         return peaks
 
 
@@ -61,10 +68,10 @@ def duration_histogram(
     total = 0.0
     for r in records:
         total += r.cycles
-        idx = min(
-            num_bins - 1,
-            max(0, int(math.log10(max(r.cycles, 1)) * bins_per_decade)),
-        )
+        # Bin against the edges actually reported: floating-point rounding in
+        # log10(cycles) * bins_per_decade can land a value one bin away from
+        # the bracket [edges[i], edges[i+1]) that bisect finds directly.
+        idx = min(num_bins - 1, max(0, bisect.bisect_right(edges, r.cycles) - 1))
         weights[idx] += r.cycles
     if total > 0:
         weights = [100.0 * w / total for w in weights]

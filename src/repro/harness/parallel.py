@@ -1,0 +1,437 @@
+"""Parallel, fault-tolerant experiment harness.
+
+Regenerating the paper's full evaluation replays every (workload ×
+allocator-config × cache-size) cell through
+:func:`~repro.harness.experiments.compare_workload` — on a Python timing
+model, strictly serial replay is the dominant wall-clock cost.  This module
+shards that experiment matrix across a ``multiprocessing`` worker pool:
+
+* **determinism** — every cell carries its own seed and builds fresh
+  machines on an identical op stream, so sharded results are byte-identical
+  to serial ones (``tests/integration/test_parallel_differential.py``
+  enforces this on the JSON serialization);
+* **checkpointing** — each completed cell writes one JSON file under the
+  checkpoint directory (atomically: temp file + rename), and a resumed run
+  skips every cell whose checkpoint matches, so an interrupted or crashed
+  run never recomputes finished work;
+* **fault tolerance** — a failing cell is retried with exponential backoff
+  up to ``max_retries`` times; a cell that keeps failing is *quarantined*
+  and reported in the result, never silently dropped.  A worker process
+  dying mid-task (OOM-kill, segfault) surfaces as a broken-pool error on
+  its round and is retried on a fresh pool like any other failure;
+* **observability** — a structured progress stream (``progress`` callback
+  receiving dict events) reports tasks done/failed/retried/quarantined,
+  per-cell wall time, and the pooled trace-cache hit rate via
+  :func:`~repro.harness.metrics.trace_cache_summary`.
+
+Entry points: ``build_matrix`` to enumerate cells, ``run_matrix`` to
+execute them, ``matrix_figure_data`` for the canonical (order-stable,
+wall-time-free) figure/table payload.  Wired through
+``repro.harness.sweeps`` (``jobs=``), the CLI (``python -m repro matrix
+--jobs N --resume --checkpoint-dir D``) and
+``benchmarks/bench_parallel_harness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.harness.experiments import compare_workload, summarize_comparison
+from repro.harness.metrics import trace_cache_summary
+
+CHECKPOINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Matrix cells
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of the experiment matrix: a workload replayed under baseline
+    and Mallacc at one allocator configuration.  Fully declarative and
+    picklable — the worker rebuilds fresh machines from these fields alone,
+    which is what makes sharded replay bit-exact."""
+
+    workload: str
+    cache_entries: int = 32
+    num_ops: int = 1000
+    seed: int = 1
+    model_app_traffic: bool = True
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier; doubles as the checkpoint file stem."""
+        suffix = "" if self.model_app_traffic else "-noapp"
+        return (
+            f"{self.workload}-e{self.cache_entries}"
+            f"-n{self.num_ops}-s{self.seed}{suffix}"
+        )
+
+
+def derive_seed(base_seed: int, workload: str) -> int:
+    """Deterministic per-task seed: stable across runs, processes, and
+    shard assignment (crc32, not ``hash()``, so ``PYTHONHASHSEED`` is
+    irrelevant).  Cells of the same workload share a seed so cache-size
+    sweep points replay the identical op stream (the Figure 17
+    methodology)."""
+    return (base_seed + zlib.crc32(workload.encode("utf-8"))) % (2**31 - 1)
+
+
+def build_matrix(
+    workloads: Sequence[str],
+    cache_sizes: Sequence[int] = (32,),
+    num_ops: int = 1000,
+    base_seed: int = 1,
+    model_app_traffic: bool = True,
+    per_task_seeds: bool = True,
+) -> list[SweepCell]:
+    """Enumerate the (workload × cache-size) matrix in canonical order.
+
+    With ``per_task_seeds`` each workload gets a seed derived from
+    ``base_seed`` via :func:`derive_seed`; otherwise every cell uses
+    ``base_seed`` verbatim (the legacy serial-sweep convention).
+    """
+    return [
+        SweepCell(
+            workload=name,
+            cache_entries=size,
+            num_ops=num_ops,
+            seed=derive_seed(base_seed, name) if per_task_seeds else base_seed,
+            model_app_traffic=model_app_traffic,
+        )
+        for name in workloads
+        for size in cache_sizes
+    ]
+
+
+@dataclass
+class CellResult:
+    """The scalar outcome of one cell (a serialized
+    :func:`~repro.harness.experiments.summarize_comparison` payload).
+
+    ``wall_seconds`` is measurement machinery, not science — it is excluded
+    from :meth:`figure_data` so serial and sharded payloads compare equal.
+    """
+
+    cell_id: str
+    workload: str
+    cache_entries: int
+    num_ops: int
+    seed: int
+    summary: dict[str, float | int]
+    wall_seconds: float = 0.0
+
+    @property
+    def trace_cache_hits(self) -> int:
+        return int(self.summary.get("trace_cache_hits", 0))
+
+    @property
+    def trace_cache_misses(self) -> int:
+        return int(self.summary.get("trace_cache_misses", 0))
+
+    def figure_data(self) -> dict:
+        """Deterministic figure/table payload for this cell."""
+        return {
+            "cell_id": self.cell_id,
+            "workload": self.workload,
+            "cache_entries": self.cache_entries,
+            "num_ops": self.num_ops,
+            "seed": self.seed,
+            "summary": dict(sorted(self.summary.items())),
+        }
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Execute one cell on fresh machines (the worker-side entry point)."""
+    from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS
+
+    registry = {**MICROBENCHMARKS, **MACRO_WORKLOADS}
+    if cell.workload not in registry:
+        raise ValueError(f"unknown workload {cell.workload!r}")
+    comparison = compare_workload(
+        registry[cell.workload],
+        num_ops=cell.num_ops,
+        seed=cell.seed,
+        cache_entries=cell.cache_entries,
+        model_app_traffic=cell.model_app_traffic,
+    )
+    return CellResult(
+        cell_id=cell.cell_id,
+        workload=cell.workload,
+        cache_entries=cell.cache_entries,
+        num_ops=cell.num_ops,
+        seed=cell.seed,
+        summary=summarize_comparison(comparison),
+    )
+
+
+def _timed_cell(cell_fn: Callable[[SweepCell], CellResult], cell: SweepCell) -> CellResult:
+    t0 = time.perf_counter()
+    result = cell_fn(cell)
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+def checkpoint_path(checkpoint_dir: str | os.PathLike, cell: SweepCell) -> Path:
+    return Path(checkpoint_dir) / f"{cell.cell_id}.json"
+
+
+def write_checkpoint(checkpoint_dir: str | os.PathLike, cell: SweepCell, result: CellResult) -> Path:
+    """Atomically persist one completed cell (temp file + rename, so a kill
+    mid-write never leaves a truncated checkpoint behind)."""
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "cell": asdict(cell),
+        "result": asdict(result),
+    }
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{cell.cell_id}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        target = checkpoint_path(directory, cell)
+        os.replace(tmp, target)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return target
+
+
+def load_checkpoint(checkpoint_dir: str | os.PathLike, cell: SweepCell) -> CellResult | None:
+    """A cell's checkpointed result, or ``None`` if absent, unreadable, or
+    written for a *different* cell definition (stale directories from an
+    earlier matrix never masquerade as completed work)."""
+    path = checkpoint_path(checkpoint_dir, cell)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if payload.get("version") != CHECKPOINT_VERSION:
+        return None
+    if payload.get("cell") != asdict(cell):
+        return None
+    try:
+        return CellResult(**payload["result"])
+    except (KeyError, TypeError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The sharded runner
+# ---------------------------------------------------------------------------
+@dataclass
+class MatrixStats:
+    """Run-level accounting for the progress/metrics stream."""
+
+    cells_total: int = 0
+    cells_done: int = 0
+    cells_resumed: int = 0
+    cells_failed: int = 0
+    """Failed *attempts* (a cell that fails twice then succeeds counts 2)."""
+    cells_retried: int = 0
+    cells_quarantined: int = 0
+    wall_seconds: float = 0.0
+    per_cell_wall: dict[str, float] = field(default_factory=dict)
+    trace_cache: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class MatrixResult:
+    """Everything a sharded run produced, in canonical cell order."""
+
+    results: dict[str, CellResult]
+    quarantined: dict[str, str]
+    stats: MatrixStats
+
+    def __post_init__(self) -> None:
+        overlap = set(self.results) & set(self.quarantined)
+        if overlap:  # pragma: no cover - construction invariant
+            raise ValueError(f"cells both completed and quarantined: {overlap}")
+
+
+def _emit(progress: Callable[[dict], None] | None, event: dict) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def _attempt_round(
+    pending: list[SweepCell],
+    cell_fn: Callable[[SweepCell], CellResult],
+    jobs: int,
+) -> tuple[dict[str, CellResult], dict[str, str]]:
+    """Run one attempt over ``pending`` cells; returns (done, failed).
+
+    ``jobs <= 1`` executes inline (no pool: deterministic, debuggable, and
+    what the serial differential baseline uses).  A broken pool — a worker
+    killed outright — fails the affected cells rather than the whole run.
+    """
+    done: dict[str, CellResult] = {}
+    failed: dict[str, str] = {}
+    if jobs <= 1:
+        for cell in pending:
+            try:
+                done[cell.cell_id] = _timed_cell(cell_fn, cell)
+            except Exception as exc:
+                failed[cell.cell_id] = f"{type(exc).__name__}: {exc}"
+        return done, failed
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_timed_cell, cell_fn, cell): cell for cell in pending
+        }
+        for future in as_completed(futures):
+            cell = futures[future]
+            try:
+                done[cell.cell_id] = future.result()
+            except Exception as exc:
+                # Includes BrokenProcessPool: every in-flight cell on a
+                # killed pool lands here and is retried on a fresh pool.
+                failed[cell.cell_id] = f"{type(exc).__name__}: {exc}"
+    return done, failed
+
+
+def run_matrix(
+    cells: Sequence[SweepCell],
+    jobs: int = 1,
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    backoff_seconds: float = 0.1,
+    progress: Callable[[dict], None] | None = None,
+    cell_fn: Callable[[SweepCell], CellResult] = run_cell,
+) -> MatrixResult:
+    """Shard ``cells`` across ``jobs`` workers with checkpoints and retry.
+
+    * ``resume=True`` (requires ``checkpoint_dir``) skips every cell whose
+      checkpoint matches its definition;
+    * each completed cell is checkpointed immediately, so *any* interrupted
+      run with a checkpoint directory is resumable;
+    * a cell failing more than ``max_retries`` times is quarantined into
+      ``MatrixResult.quarantined`` with its last error;
+    * ``cell_fn`` must be picklable (a module-level function) when
+      ``jobs > 1`` — injectable for fault-injection tests.
+    """
+    cells = list(cells)
+    ids = [c.cell_id for c in cells]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise ValueError(f"duplicate cells in matrix: {dupes}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
+
+    stats = MatrixStats(cells_total=len(cells))
+    completed: dict[str, CellResult] = {}
+    t_start = time.perf_counter()
+
+    pending: list[SweepCell] = []
+    for cell in cells:
+        prior = load_checkpoint(checkpoint_dir, cell) if resume else None
+        if prior is not None:
+            completed[cell.cell_id] = prior
+            stats.cells_resumed += 1
+        else:
+            pending.append(cell)
+    _emit(progress, {
+        "event": "start",
+        "cells": len(cells),
+        "resumed": stats.cells_resumed,
+        "jobs": jobs,
+    })
+
+    by_id = {c.cell_id: c for c in cells}
+    last_error: dict[str, str] = {}
+    attempt = 0
+    while pending and attempt <= max_retries:
+        if attempt:
+            delay = backoff_seconds * (2 ** (attempt - 1))
+            _emit(progress, {
+                "event": "retry_round",
+                "attempt": attempt,
+                "cells": [c.cell_id for c in pending],
+                "backoff_seconds": delay,
+            })
+            stats.cells_retried += len(pending)
+            time.sleep(delay)
+        done, failed = _attempt_round(pending, cell_fn, jobs)
+        for cell_id, result in done.items():
+            completed[cell_id] = result
+            stats.cells_done += 1
+            stats.per_cell_wall[cell_id] = result.wall_seconds
+            if checkpoint_dir is not None:
+                write_checkpoint(checkpoint_dir, by_id[cell_id], result)
+            _emit(progress, {
+                "event": "cell_done",
+                "cell": cell_id,
+                "wall_seconds": result.wall_seconds,
+                "done": stats.cells_done + stats.cells_resumed,
+                "total": stats.cells_total,
+            })
+        for cell_id, error in failed.items():
+            stats.cells_failed += 1
+            last_error[cell_id] = error
+            _emit(progress, {
+                "event": "cell_failed",
+                "cell": cell_id,
+                "attempt": attempt,
+                "error": error,
+            })
+        pending = [by_id[cid] for cid in ids if cid in failed]
+        attempt += 1
+
+    quarantined = {cell.cell_id: last_error[cell.cell_id] for cell in pending}
+    for cell_id, error in quarantined.items():
+        stats.cells_quarantined += 1
+        _emit(progress, {"event": "cell_quarantined", "cell": cell_id, "error": error})
+
+    # Canonical order: results iterate in matrix order, not completion order.
+    ordered = {cid: completed[cid] for cid in ids if cid in completed}
+    stats.wall_seconds = time.perf_counter() - t_start
+    stats.trace_cache = trace_cache_summary(*ordered.values())
+    _emit(progress, {
+        "event": "summary",
+        "done": stats.cells_done,
+        "resumed": stats.cells_resumed,
+        "failed_attempts": stats.cells_failed,
+        "retried": stats.cells_retried,
+        "quarantined": stats.cells_quarantined,
+        "wall_seconds": stats.wall_seconds,
+        "trace_cache_hit_rate": stats.trace_cache["hit_rate"],
+    })
+    return MatrixResult(results=ordered, quarantined=quarantined, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Canonical output
+# ---------------------------------------------------------------------------
+def matrix_figure_data(result: MatrixResult) -> dict:
+    """The order-stable figure/table payload of a matrix run.
+
+    Contains only cell definitions and science (no wall times, worker
+    counts, or retry noise), so any two runs of the same matrix — serial,
+    sharded, resumed — serialize to identical bytes via
+    :func:`matrix_to_json`.
+    """
+    return {
+        "cells": [r.figure_data() for r in result.results.values()],
+        "quarantined": sorted(result.quarantined),
+    }
+
+
+def matrix_to_json(result: MatrixResult) -> str:
+    """Deterministic JSON serialization of :func:`matrix_figure_data`."""
+    return json.dumps(matrix_figure_data(result), sort_keys=True, indent=2)

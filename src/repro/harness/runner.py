@@ -182,6 +182,9 @@ class MultiThreadRunResult:
     workload: str
     records: list[CallRecord] = field(default_factory=list)
     per_thread_cycles: dict[int, int] = field(default_factory=dict)
+    app_cycles: int = 0
+    warmup_calls: int = 0
+    warmup_cycles: int = 0
     contention_cycles: int = 0
     coherence_transfers: int = 0
     trace_cache_hits: int = 0
@@ -194,6 +197,10 @@ class MultiThreadRunResult:
         return sum(r.cycles for r in self.records)
 
     @property
+    def total_cycles(self) -> int:
+        return self.allocator_cycles + self.app_cycles
+
+    @property
     def trace_cache_lookups(self) -> int:
         return self.trace_cache_hits + self.trace_cache_misses
 
@@ -203,36 +210,67 @@ class MultiThreadRunResult:
         return self.trace_cache_hits / lookups if lookups else 0.0
 
 
-def run_multithreaded(mt_allocator, ops, name: str = "") -> MultiThreadRunResult:
+def run_multithreaded(
+    mt_allocator,
+    ops,
+    name: str = "",
+    model_app_traffic: bool = True,
+) -> MultiThreadRunResult:
     """Replay a tid-tagged op stream on a
-    :class:`repro.alloc.multithread.MultiThreadAllocator`."""
+    :class:`repro.alloc.multithread.MultiThreadAllocator`.
+
+    Semantics mirror :func:`run_workload` exactly: warmup calls run fully
+    but land in ``warmup_calls``/``warmup_cycles`` (never in ``records`` or
+    the per-thread totals), warmup gaps stay out of ``app_cycles``, and
+    ``op.app_lines`` streams application traffic through the issuing
+    thread's core hierarchy when ``model_app_traffic`` is on.
+    """
     from repro.workloads.base import OpKind as _OpKind
 
     result = MultiThreadRunResult(workload=name)
     slots: dict[int, int] = {}
     machines = getattr(mt_allocator, "core_machines", [mt_allocator.machine])
     cache_before = _cache_snapshots(machines)
+    app_offset = 0
     for op in ops:
         if op.kind is _OpKind.ANTAGONIZE:
-            mt_allocator.machine.hierarchy.antagonize()
+            # Evict every core's private caches (and the shared L3, in
+            # coherent mode) exactly once — not just core 0's.
+            antagonize = getattr(mt_allocator, "antagonize", None)
+            if antagonize is not None:
+                antagonize()
+            else:  # pragma: no cover - legacy allocators without the hook
+                for machine in _distinct_machines(machines):
+                    machine.hierarchy.antagonize()
             continue
         if op.gap_cycles:
             mt_allocator.machine.advance(op.gap_cycles)
+            if not op.warmup:
+                result.app_cycles += op.gap_cycles
+        if op.app_lines and model_app_traffic:
+            core = machines[op.tid] if op.tid < len(machines) else machines[0]
+            core.hierarchy.touch_lines(_APP_REGION_BASE + app_offset, op.app_lines)
+            app_offset = (app_offset + op.app_lines * 64) % _APP_REGION_BYTES
         if op.kind is _OpKind.MALLOC:
             if op.slot in slots:
                 raise ValueError(f"workload reused live slot {op.slot}")
-            ptr, record = mt_allocator.malloc(op.tid, op.size)
+            ptr, record = mt_allocator.malloc(op.tid, op.size, warmup=op.warmup)
             slots[op.slot] = ptr
         elif op.kind in (_OpKind.FREE, _OpKind.FREE_SIZED):
             if op.slot not in slots:
                 raise ValueError(f"workload freed unknown or dead slot {op.slot}")
             if op.kind is _OpKind.FREE:
-                record = mt_allocator.free(op.tid, slots.pop(op.slot))
+                record = mt_allocator.free(op.tid, slots.pop(op.slot), warmup=op.warmup)
             else:
-                record = mt_allocator.sized_free(op.tid, slots.pop(op.slot), op.size)
+                record = mt_allocator.sized_free(
+                    op.tid, slots.pop(op.slot), op.size, warmup=op.warmup
+                )
         else:  # pragma: no cover - exhaustive
             raise ValueError(f"unknown op kind {op.kind}")
-        if not op.warmup:
+        if op.warmup:
+            result.warmup_calls += 1
+            result.warmup_cycles += record.cycles
+        else:
             result.records.append(record)
             result.per_thread_cycles[op.tid] = (
                 result.per_thread_cycles.get(op.tid, 0) + record.cycles

@@ -51,9 +51,24 @@ def sweep_cache_sizes(
     num_ops: int | None = None,
     seed: int = 1,
     cache_config_base: MallocCacheConfig | None = None,
+    jobs: int = 1,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Run one workload across malloc-cache sizes."""
+    """Run one workload across malloc-cache sizes.
+
+    ``jobs > 1`` shards the sweep points across worker processes via
+    :mod:`repro.harness.parallel` (each point builds fresh machines on the
+    identical op stream, so the curve is byte-identical to the serial
+    loop); ``checkpoint_dir``/``resume`` make the sweep interruptible.
+    Sharding requires the default cache-config base — non-default bases are
+    not cell-serializable and fall back to the serial path.
+    """
     base = cache_config_base or MallocCacheConfig()
+    if jobs > 1 and cache_config_base is None:
+        return _sweep_parallel(
+            workload, sizes, num_ops, seed, jobs, checkpoint_dir, resume
+        )
     result = SweepResult(workload=workload.name, sizes=tuple(sizes))
     for size in sizes:
         cfg = MallocCacheConfig(
@@ -71,4 +86,42 @@ def sweep_cache_sizes(
         result.malloc_speedups.append(comparison.malloc_improvement)
         result.allocator_speedups.append(comparison.allocator_improvement)
         result.limit_speedup = comparison.malloc_limit_improvement
+    return result
+
+
+def _sweep_parallel(
+    workload: Workload,
+    sizes: tuple[int, ...],
+    num_ops: int | None,
+    seed: int,
+    jobs: int,
+    checkpoint_dir: str | None,
+    resume: bool,
+) -> SweepResult:
+    """The sharded sweep: one :class:`~repro.harness.parallel.SweepCell`
+    per cache size, all replaying the same seed (Figure 17's methodology)."""
+    from repro.harness.parallel import SweepCell, run_matrix
+
+    cells = [
+        SweepCell(
+            workload=workload.name,
+            cache_entries=size,
+            num_ops=num_ops or workload.default_ops,
+            seed=seed,
+        )
+        for size in sizes
+    ]
+    matrix = run_matrix(
+        cells, jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume
+    )
+    if matrix.quarantined:
+        raise RuntimeError(
+            f"sweep cells failed after retries: {sorted(matrix.quarantined)}"
+        )
+    result = SweepResult(workload=workload.name, sizes=tuple(sizes))
+    for cell in cells:
+        summary = matrix.results[cell.cell_id].summary
+        result.malloc_speedups.append(summary["malloc_improvement"])
+        result.allocator_speedups.append(summary["allocator_improvement"])
+        result.limit_speedup = summary["malloc_limit_improvement"]
     return result

@@ -26,6 +26,7 @@ harness can print paper-vs-measured tables.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -71,7 +72,10 @@ def _draw_size(rng: random.Random, sizes: tuple[tuple[int, float], ...], total: 
 
 
 def _macro_gen(profile: MacroProfile, seed: int, num_ops: int) -> Iterator[Op]:
-    rng = random.Random(seed ^ hash(profile.name) & 0xFFFF)
+    # crc32, not hash(): string hashing is per-process randomized, which
+    # would give every worker process (and every resumed run) a different
+    # op stream for the same (workload, seed) cell.
+    rng = random.Random(seed ^ zlib.crc32(profile.name.encode()) & 0xFFFF)
     total_weight = sum(w for _, w in profile.sizes)
     slot = 0
     live: list[tuple[int, int]] = []  # FIFO of (slot, size)

@@ -199,6 +199,44 @@ class TestAcceleratedThreads:
         accel = total_cycles(True)
         assert accel < base
 
+    def test_preemption_boundaries_do_not_drift(self):
+        """The next deadline stays pinned to whole multiples of the quantum
+        — never clock + quantum from whatever instant the check fired."""
+        quantum = 10_000
+        mt = MultiThreadAllocator(
+            2, config=AllocatorConfig(release_rate=0), switch_quantum_cycles=quantum
+        )
+        mt.machine.advance(quantum + 50)  # cross boundary 1, mid-quantum
+        mt.malloc(0, 64)
+        assert mt.context_switches == 1
+        assert mt._next_preemption == 2 * quantum  # not 10_050 + quantum
+
+    def test_each_crossed_quantum_boundary_counts(self):
+        """A long application gap crossing several boundaries counts one
+        context switch per boundary, not one per check."""
+        quantum = 10_000
+        mt = MultiThreadAllocator(
+            2, config=AllocatorConfig(release_rate=0), switch_quantum_cycles=quantum
+        )
+        mt.machine.advance(5 * quantum + 123)  # boundaries 1..5 crossed
+        mt.malloc(0, 64)
+        assert mt.context_switches == 5
+        assert mt._next_preemption == 6 * quantum
+        mt.machine.advance(quantum)  # crosses boundary 6 exactly at 6Q+123
+        mt.malloc(1, 64)
+        assert mt.context_switches == 6
+        assert mt._next_preemption == 7 * quantum
+
+    def test_preemption_at_exact_boundary_fires_once(self):
+        quantum = 1_000
+        mt = MultiThreadAllocator(
+            2, config=AllocatorConfig(release_rate=0), switch_quantum_cycles=quantum
+        )
+        mt.machine.clock = quantum  # exactly on the first boundary
+        mt.malloc(0, 64)
+        assert mt.context_switches == 1
+        assert mt._next_preemption == 2 * quantum
+
     def test_invariants_after_multithreaded_churn(self):
         mt = make(3, accelerated=True)
         rng = random.Random(17)

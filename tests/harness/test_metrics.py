@@ -1,6 +1,8 @@
 """Tests for the distribution metrics."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.alloc.allocator import CallRecord, Path
 from repro.harness.metrics import (
@@ -57,6 +59,83 @@ class TestDurationHistogram:
     def test_empty_records(self):
         h = duration_histogram([])
         assert sum(h.weights) == 0.0
+
+    def test_decade_boundaries_land_in_their_own_bin(self):
+        """Regression: int(log10(cycles) * bins_per_decade) truncation put
+        exact decade values (e.g. 1000: log10 = 2.999...96) one bin below
+        the edge bracket the histogram reports."""
+        for cycles in (10, 100, 1000, 10_000, 100_000):
+            h = duration_histogram([rec(cycles)])
+            idx = h.weights.index(100.0)
+            assert h.bin_edges[idx] <= cycles < h.bin_edges[idx + 1]
+            assert h.bin_edges[idx] == pytest.approx(cycles)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        cycles=st.lists(st.integers(min_value=1, max_value=10**7), min_size=1, max_size=30),
+        bins_per_decade=st.integers(min_value=1, max_value=8),
+    )
+    def test_binning_agrees_with_reported_edges(self, cycles, bins_per_decade):
+        """Every record's weight lands in the bin whose [lo, hi) edge
+        bracket contains its duration (values past the last edge clamp into
+        the final bin) — the histogram never contradicts its own
+        bin_edges."""
+        records = [rec(c) for c in cycles]
+        h = duration_histogram(records, bins_per_decade=bins_per_decade)
+        expected = [0.0] * (len(h.bin_edges) - 1)
+        total = sum(cycles)
+        for c in cycles:
+            for i in range(len(h.bin_edges) - 1):
+                if h.bin_edges[i] <= c < h.bin_edges[i + 1]:
+                    break
+            else:
+                i = len(h.bin_edges) - 2 if c >= h.bin_edges[-1] else 0
+            expected[i] += c
+        expected = [100.0 * w / total for w in expected]
+        assert list(h.weights) == pytest.approx(expected)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=40))
+    def test_weights_always_sum_to_100(self, cycles):
+        h = duration_histogram([rec(c) for c in cycles])
+        assert sum(h.weights) == pytest.approx(100.0)
+
+
+class TestPeakBins:
+    def test_plateau_counted_once(self):
+        """Two adjacent equal-weight bins are one peak spanning both, not a
+        peak per bin."""
+        # bin [10, 17.78): 16-cycle calls; bin [17.78, 31.6): 20-cycle calls;
+        # equal time in each (5*16 == 4*20).
+        records = [rec(16)] * 5 + [rec(20)] * 4
+        h = duration_histogram(records)
+        peaks = h.peak_bins(min_share=5.0)
+        assert len(peaks) == 1
+        lo, hi, share = peaks[0]
+        assert lo <= 16 and hi > 20
+        assert share == pytest.approx(50.0)
+
+    def test_distinct_peaks_still_separate(self):
+        records = [rec(20)] * 500 + [rec(1500)] * 10 + [rec(30000)] * 2
+        peaks = duration_histogram(records).peak_bins(min_share=5.0)
+        assert len(peaks) == 3
+
+    def test_single_bin_peak_spans_one_bin(self):
+        h = duration_histogram([rec(20)])
+        ((lo, hi, share),) = h.peak_bins()
+        assert share == pytest.approx(100.0)
+        assert lo <= 20 < hi
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=30))
+    def test_peaks_never_overlap_and_respect_threshold(self, cycles):
+        h = duration_histogram([rec(c) for c in cycles])
+        peaks = h.peak_bins(min_share=5.0)
+        assert all(share >= 5.0 for _, _, share in peaks)
+        spans = [(lo, hi) for lo, hi, _ in peaks]
+        assert spans == sorted(spans)
+        for (_, hi_a), (lo_b, _) in zip(spans, spans[1:]):
+            assert hi_a <= lo_b
 
 
 class TestTimeWeightedCdf:

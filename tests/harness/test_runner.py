@@ -274,3 +274,127 @@ class TestWarmupAccounting:
         result = run_multithreaded(MultiThreadAllocator(2), ops)
         assert len(result.records) == 2
         assert set(result.per_thread_cycles) == {1}
+
+
+class TestMultithreadRunnerParity:
+    """run_multithreaded must account warmup, app gaps, and app traffic
+    exactly like run_workload — it historically dropped all three."""
+
+    def _warmup_stream(self):
+        return [
+            Op(OpKind.MALLOC, size=64, slot=0, tid=0, gap_cycles=500, warmup=True),
+            Op(OpKind.MALLOC, size=64, slot=1, tid=1, gap_cycles=10),
+            Op(OpKind.FREE, size=64, slot=0, tid=0, gap_cycles=700, warmup=True),
+            Op(OpKind.MALLOC, size=64, slot=2, tid=0, gap_cycles=20),
+            Op(OpKind.FREE, size=64, slot=1, tid=1, gap_cycles=30),
+            Op(OpKind.FREE, size=64, slot=2, tid=0),
+        ]
+
+    def test_warmup_calls_and_cycles_accounted(self):
+        result = run_multithreaded(MultiThreadAllocator(2), self._warmup_stream())
+        assert result.warmup_calls == 2
+        assert result.warmup_cycles > 0
+        assert len(result.records) == 4
+
+    def test_warmup_gaps_excluded_from_app_cycles(self):
+        result = run_multithreaded(MultiThreadAllocator(2), self._warmup_stream())
+        assert result.app_cycles == 60  # 500 + 700 warmup gaps excluded
+        assert result.total_cycles == result.allocator_cycles + 60
+
+    def test_per_thread_cycles_exclude_warmup(self):
+        result = run_multithreaded(MultiThreadAllocator(2), self._warmup_stream())
+        measured_t0 = sum(
+            r.cycles for op, r in zip(
+                [o for o in self._warmup_stream() if not o.warmup],
+                result.records,
+            ) if op.tid == 0
+        )
+        assert result.per_thread_cycles[0] == measured_t0
+
+    def test_allocator_stats_separate_warmup(self):
+        """MultiThreadAllocator.stats[tid] must not mix warmup cycles into
+        the measured totals (parity with RunResult's partition)."""
+        mt = MultiThreadAllocator(2)
+        result = run_multithreaded(mt, self._warmup_stream())
+        assert mt.stats[0].warmup_calls == 2
+        assert mt.stats[0].warmup_cycles == result.warmup_cycles
+        assert mt.stats[0].cycles + mt.stats[1].cycles == result.allocator_cycles
+        assert mt.stats[0].cycles == result.per_thread_cycles[0]
+        assert mt.stats[1].warmup_calls == 0
+
+    def test_app_traffic_touches_issuing_cores_cache(self):
+        mt = MultiThreadAllocator(2, coherent=True)
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, tid=1, gap_cycles=10, app_lines=32),
+            Op(OpKind.FREE, size=64, slot=0, tid=1),
+        ]
+        run_multithreaded(mt, ops)
+        assert mt.core_machines[1].hierarchy.l1.resident_lines >= 32
+
+    def test_app_traffic_can_be_disabled(self):
+        ops = [Op(OpKind.MALLOC, size=64, slot=0, tid=0, app_lines=256)]
+        modeled, unmodeled = MultiThreadAllocator(2), MultiThreadAllocator(2)
+        run_multithreaded(modeled, list(ops))
+        run_multithreaded(unmodeled, list(ops), model_app_traffic=False)
+        # The 256-line app stream only lands when modeling is on.
+        assert (
+            unmodeled.machine.hierarchy.l1.resident_lines
+            < modeled.machine.hierarchy.l1.resident_lines
+        )
+
+
+class TestMultithreadAntagonize:
+    """An ANTAGONIZE op must evict every core's private caches and the
+    shared L3 exactly once — not just core 0's hierarchy."""
+
+    def _prefill(self, mt, lines=2048):
+        base = 0x0000_6000_0000_0000
+        for machine in {id(m): m for m in mt.core_machines}.values():
+            machine.hierarchy.touch_lines(base, lines)
+
+    def test_coherent_mode_evicts_all_cores_and_shared_l3(self):
+        mt = MultiThreadAllocator(3, coherent=True)
+        self._prefill(mt)
+        # Pile 12 lines into ONE shared-L3 set (8 MB / 16-way / 64 B lines
+        # -> 8192 sets, so the set stride is 8192 * 64 bytes); the L3
+        # half-eviction must drop the LRU half of that set.
+        l3_set_stride = 8192 * 64
+        deep = [0x0000_6100_0000_0000 + i * l3_set_stride for i in range(12)]
+        for addr in deep:
+            mt.core_machines[0].hierarchy.access(addr)
+        assert all(mt.substrate.l3.contains(a) for a in deep)
+        l1_before = [m.hierarchy.l1.resident_lines for m in mt.core_machines]
+        assert all(n > 0 for n in l1_before)
+
+        ops = [
+            Op(OpKind.MALLOC, size=64, slot=0, tid=0),
+            Op(OpKind.ANTAGONIZE),
+            Op(OpKind.FREE, size=64, slot=0, tid=0),
+        ]
+        result = run_multithreaded(mt, ops)
+        assert len(result.records) == 2
+        for before, machine in zip(l1_before, mt.core_machines):
+            assert machine.hierarchy.l1.resident_lines < before
+        assert sum(mt.substrate.l3.contains(a) for a in deep) <= 6
+
+    def test_flat_mode_matches_single_threaded_semantics(self):
+        """Flat mode has one hierarchy: antagonize hits its L1/L2 once and
+        leaves the (private) L3 alone, as run_workload does."""
+        mt = MultiThreadAllocator(2)
+        self._prefill(mt)
+        l3_before = mt.machine.hierarchy.l3.resident_lines
+        l1_before = mt.machine.hierarchy.l1.resident_lines
+        evicted = mt.antagonize()
+        assert evicted > 0
+        assert mt.machine.hierarchy.l1.resident_lines < l1_before
+        assert mt.machine.hierarchy.l3.resident_lines == l3_before
+
+    def test_antagonize_counts_each_core_once(self):
+        """Flat mode aliases N thread views onto one hierarchy — the
+        machine-wide antagonize evicts exactly what a single direct
+        hierarchy antagonize would, never once per view."""
+        mt = MultiThreadAllocator(4)  # one shared machine
+        twin = MultiThreadAllocator(4)
+        self._prefill(mt)
+        self._prefill(twin)
+        assert mt.antagonize() == twin.machine.hierarchy.antagonize()
