@@ -185,7 +185,11 @@ def test_bench_trace_cache():
     payload = main()
     assert payload["end_to_end"]["bit_identical"]
     assert payload["hit_rate"] >= 0.90
-    assert payload["speedup"] >= 3.0
+    # Memoization's *relative* payoff shrank when the unmemoized scheduler
+    # itself got faster (slotted Uops, hoisted scheduling-loop binds in the
+    # emission fast-forward round): ~4.4x before, ~2.7x after, with both
+    # absolute times improving.  The floor tracks the new baseline.
+    assert payload["speedup"] >= 2.0
     # End-to-end is Amdahl-limited (scheduling is ~45% of a replay even with
     # app traffic off), so the bar here is only "clearly faster".
     assert payload["end_to_end"]["speedup"] >= 1.1

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.alloc.central_cache import CentralFreeList
 from repro.alloc.constants import K_PAGE_SHIFT, AllocatorConfig
@@ -22,6 +23,7 @@ from repro.alloc.page_heap import PageHeap
 from repro.alloc.sampler import Sampler
 from repro.alloc.size_classes import SizeClassTable
 from repro.alloc.thread_cache import ThreadCache
+from repro.sim.trace_intern import TraceInterner
 from repro.sim.uop import Tag, Trace
 
 
@@ -39,6 +41,15 @@ class Path(enum.Enum):
 
 MALLOC_PATHS = frozenset({Path.FAST, Path.CENTRAL, Path.PAGE_ALLOC, Path.LARGE})
 FREE_PATHS = frozenset({Path.FREE_FAST, Path.FREE_SLOW, Path.FREE_LARGE})
+
+#: Emission sites eligible for template interning: the loop-free fast paths.
+#: Slow paths (central refills, scavenges, span work) contain data-dependent
+#: loops whose token streams are effectively unique — interning them would
+#: bloat the table for zero hit rate, so they build ad hoc.
+_INTERN_SITES = {
+    ("malloc", Path.FAST): "malloc:fast",
+    ("free", Path.FREE_FAST): "free:fast",
+}
 
 
 @dataclass
@@ -91,6 +102,7 @@ class TCMalloc:
         ablations: dict[str, frozenset[Tag]] | None = None,
         shared: "SharedPools | None" = None,
         memoize_traces: bool | None = None,
+        intern_traces: bool | None = None,
     ) -> None:
         self.machine = machine or Machine()
         self.config = config or AllocatorConfig()
@@ -99,6 +111,13 @@ class TCMalloc:
             # Explicit override of the machine's trace-scheduling memoization
             # (None leaves the CoreConfig default in place).
             self.machine.timing.set_memoization(memoize_traces)
+        if intern_traces is not None:
+            # Explicit override of the machine's emission-side interning
+            # (None leaves the REPRO_TRACE_INTERN default in place).
+            if intern_traces and self.machine.interner is None:
+                self.machine.interner = TraceInterner()
+            elif not intern_traces:
+                self.machine.interner = None
         if shared is not None:
             # Multithreaded mode: this instance is one thread's view over
             # pools owned by a MultiThreadAllocator.
@@ -131,6 +150,9 @@ class TCMalloc:
         self._emit_prologue(em)
 
         sampled = self._emit_sampling_check(em, size)
+        # PMU-based sampling (Mallacc) decides without emitting a branch, so
+        # the decision must be a template token in its own right.
+        em.note(("sampled", sampled))
         small = size <= self.config.max_size
         em.branch("malloc_is_small", taken=small, tag=Tag.ADDRESSING)
 
@@ -267,6 +289,9 @@ class TCMalloc:
             self.page_heap.free_span(em, span)
             path = Path.FREE_LARGE
         else:
+            # Sized and non-sized frees emit different lookups but share the
+            # fast path; no branch distinguishes them, so token it.
+            em.note(("sized", sized_hint is not None))
             if sized_hint is not None:
                 lookup = self._emit_size_class_lookup(em, sized_hint)
                 lookup_uop = lookup.cls_uop
@@ -320,8 +345,26 @@ class TCMalloc:
         clock0: int,
         sampled: bool,
     ) -> CallRecord:
-        trace = em.build()
-        result = self.machine.timing.run(trace)
+        site = _INTERN_SITES.get((kind, path))
+        prof = self.machine.profiler
+        ablated: dict[str, int] = {}
+        if prof is None:
+            trace = em.build(intern_site=site)
+            result = self.machine.timing.run(trace)
+            for name, tags in self.ablations.items():
+                ablated[name] = self.machine.timing.run_ablated(trace, tags).cycles
+        else:
+            t0 = perf_counter()
+            trace = em.build(intern_site=site)
+            t1 = perf_counter()
+            result = self.machine.timing.run(trace)
+            for name, tags in self.ablations.items():
+                ablated[name] = self.machine.timing.run_ablated(trace, tags).cycles
+            t2 = perf_counter()
+            prof.add_stage("build", t1 - t0)
+            prof.add_stage("schedule", t2 - t1)
+            prof.count("calls")
+            prof.count("uops", len(trace))
         record = CallRecord(
             kind=kind,
             size=size,
@@ -332,9 +375,8 @@ class TCMalloc:
             ptr=ptr,
             clock=clock0,
             sampled=sampled,
+            ablated=ablated,
         )
-        for name, tags in self.ablations.items():
-            record.ablated[name] = self.machine.timing.run_ablated(trace, tags).cycles
         self.machine.advance(result.cycles)
         if self.keep_records:
             self.records.append(record)

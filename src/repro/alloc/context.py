@@ -10,13 +10,18 @@ functional memory access also emits a priced micro-op.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.sim.branch import BranchPredictor
 from repro.sim.hierarchy import CacheHierarchy
 from repro.sim.memory import SimulatedMemory, VirtualAddressSpace
 from repro.sim.timing import CoreConfig, TimingModel, TimingResult
 from repro.sim.tlb import TLB
+from repro.sim.trace_intern import TraceInterner, interner_from_env
 from repro.sim.uop import Tag, Trace, TraceBuilder
+
+if TYPE_CHECKING:
+    from repro.harness.profile import HotPathProfiler
 
 
 @dataclass
@@ -29,6 +34,12 @@ class Machine:
     tlb: TLB = field(default_factory=TLB)
     predictor: BranchPredictor = field(default_factory=BranchPredictor)
     timing: TimingModel = field(default_factory=lambda: TimingModel(CoreConfig()))
+    interner: TraceInterner | None = field(default_factory=interner_from_env)
+    """Emission-side intern table; ``None`` disables template interning."""
+    profiler: "HotPathProfiler | None" = None
+    """Opt-in hot-path profiler; ``None`` (the default) costs nothing.  The
+    allocator duck-types it, so any object with ``add_stage``/``count``
+    works — normally a :class:`repro.harness.profile.HotPathProfiler`."""
     clock: int = 0
     """Global cycle count, advanced by allocator calls and application gaps."""
 
@@ -53,26 +64,38 @@ class Emitter:
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self.tb = TraceBuilder()
+        # Pre-bound hot-path callables: load/store/alu run once per emitted
+        # micro-op, so the attribute chains are hoisted here (an Emitter
+        # lives for exactly one allocator call).
+        hierarchy = machine.hierarchy
+        self._h_read = hierarchy.demand_access
+        if hierarchy._fast_demand:
+            self._h_write = hierarchy.demand_access  # inlined walk: same path
+        else:
+            self._h_write = hierarchy._access_write  # preserves write=True
+        self._tlb = machine.tlb.access
+        self._mem_read = machine.memory.read_word
+        self._mem_write = machine.memory.write_word
 
     # -- memory ------------------------------------------------------------
     def load_word(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> tuple[int, int]:
         """Read simulated memory; returns ``(value, uop_index)``."""
-        value = self.machine.memory.read_word(addr)
-        latency = self.machine.hierarchy.access(addr) + self.machine.tlb.access(addr)
+        value = self._mem_read(addr)
+        latency = self._h_read(addr) + self._tlb(addr)
         idx = self.tb.load(addr, latency, deps=deps, tag=tag)
         return value, idx
 
     def store_word(self, addr: int, value: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
         """Write simulated memory; returns the uop index."""
-        self.machine.memory.write_word(addr, value)
-        self.machine.hierarchy.access(addr, write=True)
-        self.machine.tlb.access(addr)
+        self._mem_write(addr, value)
+        self._h_write(addr)
+        self._tlb(addr)
         return self.tb.store(addr, deps=deps, tag=tag)
 
     def load_table(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
         """A load from a read-only table (size-class arrays): prices the
         access without needing a stored word.  Returns the uop index."""
-        latency = self.machine.hierarchy.access(addr) + self.machine.tlb.access(addr)
+        latency = self._h_read(addr) + self._tlb(addr)
         return self.tb.load(addr, latency, deps=deps, tag=tag)
 
     # -- computation -------------------------------------------------------
@@ -81,7 +104,16 @@ class Emitter:
 
     def branch(self, site: str, taken: bool, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
         penalty = self.machine.predictor.predict(site, taken)
+        # Every branch outcome is an intern-template token: the control path
+        # through an emission site determines the trace's structure.
+        self.tb.note((site, taken))
         return self.tb.branch(deps=deps, tag=tag, mispredict_penalty=penalty)
+
+    def note(self, token) -> None:
+        """Record a structural decision that emits no branch uop (Mallacc
+        push hits, prefetch presence, sized vs. pagemap free, ...) so the
+        intern template key captures it."""
+        self.tb.note(token)
 
     def fixed(self, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.SLOW_PATH) -> int:
         return self.tb.fixed(latency, deps=deps, tag=tag)
@@ -101,7 +133,12 @@ class Emitter:
         return idx, latency
 
     # -- finishing ---------------------------------------------------------
-    def build(self) -> Trace:
+    def build(self, intern_site: str | None = None) -> Trace:
+        """Materialize the trace; with ``intern_site`` (and the machine's
+        interner enabled) identical calls return one shared instance."""
+        interner = self.machine.interner
+        if intern_site is not None and interner is not None:
+            return self.tb.build_interned(interner, intern_site)
         return self.tb.build()
 
     def schedule(self) -> TimingResult:

@@ -79,6 +79,7 @@ class MultiThreadAllocator:
         switch_quantum_cycles: int = 1_000_000,
         coherent: bool = False,
         memoize_traces: bool | None = None,
+        intern_traces: bool | None = None,
     ) -> None:
         if num_threads < 1:
             raise ValueError("need at least one thread")
@@ -96,6 +97,14 @@ class MultiThreadAllocator:
             # Coherent mode runs one TimingModel per core; apply to each.
             for core in {id(m): m for m in self.core_machines}.values():
                 core.timing.set_memoization(memoize_traces)
+        if intern_traces is not None:
+            from repro.sim.trace_intern import TraceInterner
+
+            for core in {id(m): m for m in self.core_machines}.values():
+                if intern_traces and core.interner is None:
+                    core.interner = TraceInterner()
+                elif not intern_traces:
+                    core.interner = None
         self.config = config or AllocatorConfig()
         self.accelerated = accelerated
         self.context_switch_flushes = context_switch_flushes

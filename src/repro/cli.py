@@ -10,6 +10,8 @@ regenerated without writing code:
   processes (``--jobs N``), with per-cell checkpoints (``--checkpoint-dir``)
   and crash-safe resumption (``--resume``);
 * ``breakdown``   — fast-path component costs for a microbenchmark (Fig. 4);
+* ``profile``     — hot-path profiler: where the *simulator* spends wall
+  time replaying a workload (stage table + intern/trace-cache hit rates);
 * ``area``        — the Section 6.4 area model;
 * ``validate``    — the Table 1 simulator validation;
 * ``trace-record``/``trace-run`` — capture a workload's op stream to a
@@ -28,7 +30,12 @@ from repro.core.area import AreaModel
 from repro.harness.ablation import fastpath_breakdown
 from repro.harness.experiments import compare_workload
 from repro.harness.figures import render_series, render_table
-from repro.harness.metrics import classes_for_coverage, median_cycles, trace_cache_summary
+from repro.harness.metrics import (
+    classes_for_coverage,
+    intern_summary,
+    median_cycles,
+    trace_cache_summary,
+)
 from repro.harness.sweeps import sweep_cache_sizes
 from repro.harness.validation import mean_error, validate
 from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS
@@ -55,12 +62,14 @@ def cmd_list(args: argparse.Namespace) -> None:
 def cmd_run(args: argparse.Namespace) -> None:
     workload = _workload_or_die(args.workload)
     memoize = False if args.no_trace_cache else None
+    intern = False if args.no_intern else None
     c = compare_workload(
         workload,
         num_ops=args.ops,
         seed=args.seed,
         cache_entries=args.entries,
         memoize_traces=memoize,
+        intern_traces=intern,
     )
     print(f"workload          : {c.workload}  ({args.ops} ops, seed {args.seed})")
     cache = trace_cache_summary(c.baseline, c.mallacc)
@@ -69,6 +78,12 @@ def cmd_run(args: argparse.Namespace) -> None:
               f"({cache['hits']:.0f}/{cache['lookups']:.0f} schedules memoized)")
     else:
         print("trace cache       : disabled")
+    interned = intern_summary(c.baseline, c.mallacc)
+    if interned["lookups"]:
+        print(f"trace intern      : {100 * interned['hit_rate']:.1f}% hit rate "
+              f"({interned['hits']:.0f}/{interned['lookups']:.0f} emissions shared)")
+    else:
+        print("trace intern      : disabled")
     print(f"allocator fraction: {100 * c.allocator_fraction:.2f}%")
     print(f"size classes @90% : {classes_for_coverage(c.baseline.records)}")
     print(f"median malloc     : {median_cycles(c.baseline.records):.0f} -> "
@@ -204,6 +219,35 @@ def cmd_matrix(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def cmd_profile(args: argparse.Namespace) -> None:
+    """Replay one workload with the hot-path profiler attached and print the
+    stage/counter table (see docs/profiling.md)."""
+    from repro.harness.experiments import make_baseline, make_mallacc
+    from repro.harness.profile import HotPathProfiler, render_profile
+    from repro.harness.runner import run_workload
+
+    workload = _workload_or_die(args.workload)
+    ops = list(workload.ops(seed=args.seed, num_ops=args.ops))
+    if args.mallacc:
+        allocator = make_mallacc(cache_entries=args.entries)
+    else:
+        allocator = make_baseline()
+    profiler = HotPathProfiler()
+    result = run_workload(
+        allocator, ops, name=workload.name, profiler=profiler
+    )
+    summary = profiler.summary()
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+        return
+    flavor = "mallacc" if args.mallacc else "baseline"
+    print(f"workload          : {workload.name}  "
+          f"({len(ops)} ops, seed {args.seed}, {flavor})")
+    print(f"allocator cycles  : {result.allocator_cycles}")
+    print()
+    print(render_profile(summary))
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     from repro.harness.report import generate_report
 
@@ -244,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-trace-cache",
         action="store_true",
         help="disable trace-scheduling memoization (debugging; results are "
+             "bit-identical either way, just slower)",
+    )
+    run.add_argument(
+        "--no-intern",
+        action="store_true",
+        help="disable emission-template interning (debugging; results are "
              "bit-identical either way, just slower)",
     )
     run.set_defaults(fn=cmd_run)
@@ -298,6 +348,22 @@ def build_parser() -> argparse.ArgumentParser:
     trun.add_argument("trace")
     trun.add_argument("--entries", type=int, default=32)
     trun.set_defaults(fn=cmd_trace_run)
+
+    prof = sub.add_parser(
+        "profile",
+        help="replay one workload with the hot-path profiler (simulator "
+             "wall-time breakdown, not simulated cycles)",
+    )
+    prof.add_argument("workload")
+    prof.add_argument("--ops", type=int, default=2000)
+    prof.add_argument("--seed", type=int, default=1)
+    prof.add_argument("--entries", type=int, default=32, help="malloc cache entries")
+    prof.add_argument(
+        "--mallacc", action="store_true",
+        help="profile the Mallacc allocator instead of baseline TCMalloc",
+    )
+    prof.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    prof.set_defaults(fn=cmd_profile)
 
     rep = sub.add_parser("report", help="run the battery, write a markdown report")
     rep.add_argument("--out", default="results.md")

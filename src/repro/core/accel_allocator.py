@@ -50,7 +50,11 @@ class MallaccListOps:
         if outcome.hit:
             next_ptr = outcome.next_ptr
             result_uop = outcome.uop
-            if next_ptr == NULL and flist.length > 1:
+            head_only = next_ptr == NULL and flist.length > 1
+            # No branch uop marks the head-only fallback load; token it so
+            # the intern template distinguishes the two shapes.
+            em.note(("mchd_head_only", head_only))
+            if head_only:
                 # Head-only ablation: software still loads the successor.
                 next_ptr, result_uop = em.load_word(
                     outcome.head, deps=(outcome.uop,), tag=Tag.PUSH_POP
@@ -60,13 +64,18 @@ class MallaccListOps:
         else:
             popped = flist.emit_pop(em, addr_dep=(outcome.uop,) + addr_dep)
         # Figure 12, malloc_ret: prefetch the new head into the cache.
+        # Its presence depends on list state, not on a branch — token it.
         new_head = flist.head
+        em.note(("nxtprefetch", new_head != NULL))
         if new_head != NULL:
             self.isa.mcnxtprefetch(em, cl, new_head, deps=(popped.uop,))
         return popped
 
     def push(self, em: Emitter, flist: FreeList, cl: int, ptr: int, addr_dep: tuple[int, ...]) -> int:
         hit, old_head, uop = self.isa.mchdpush(em, cl, ptr, deps=addr_dep)
+        # mchdpush emits no hit branch; the hit/miss shapes differ (cached
+        # push drops the head load), so the decision must be a token.
+        em.note(("mchdpush_hit", hit))
         if hit:
             flist.push_cached(em, ptr, old_head, deps=(uop,))
         else:
@@ -142,11 +151,13 @@ class MallaccTCMalloc(MallaccFastPathMixin, TCMalloc):
         cache_config: MallocCacheConfig | None = None,
         ablations=None,
         memoize_traces: bool | None = None,
+        intern_traces: bool | None = None,
     ) -> None:
         super().__init__(
             machine=machine,
             config=config,
             ablations=ablations,
             memoize_traces=memoize_traces,
+            intern_traces=intern_traces,
         )
         self._attach_mallacc(cache_config)

@@ -83,12 +83,14 @@ class WorkloadComparison:
 def make_baseline(
     config: AllocatorConfig | None = None,
     memoize_traces: bool | None = None,
+    intern_traces: bool | None = None,
 ) -> TCMalloc:
     """A stock TCMalloc wired for the limit-study ablation."""
     return TCMalloc(
         config=config,
         ablations={LIMIT_ABLATION: LIMIT_STUDY_TAGS},
         memoize_traces=memoize_traces,
+        intern_traces=intern_traces,
     )
 
 
@@ -97,10 +99,14 @@ def make_mallacc(
     config: AllocatorConfig | None = None,
     cache_config: MallocCacheConfig | None = None,
     memoize_traces: bool | None = None,
+    intern_traces: bool | None = None,
 ) -> MallaccTCMalloc:
     cache_config = cache_config or MallocCacheConfig(num_entries=cache_entries)
     return MallaccTCMalloc(
-        config=config, cache_config=cache_config, memoize_traces=memoize_traces
+        config=config,
+        cache_config=cache_config,
+        memoize_traces=memoize_traces,
+        intern_traces=intern_traces,
     )
 
 
@@ -113,17 +119,23 @@ def compare_workload(
     cache_config: MallocCacheConfig | None = None,
     model_app_traffic: bool = True,
     memoize_traces: bool | None = None,
+    intern_traces: bool | None = None,
 ) -> WorkloadComparison:
     """Run one workload under baseline and Mallacc and compare.
 
     ``memoize_traces`` toggles trace-scheduling memoization on both runs
     (``None`` keeps the :class:`~repro.sim.timing.CoreConfig` default, which
-    is on); results are bit-identical either way — the differential sweep in
-    ``tests/integration/test_trace_cache_differential.py`` enforces it.
+    is on); ``intern_traces`` toggles emission-template interning the same
+    way (``None`` keeps the ``REPRO_TRACE_INTERN`` default, also on).
+    Results are bit-identical under any combination — the differential
+    sweeps in ``tests/integration/test_trace_cache_differential.py`` and
+    ``tests/integration/test_hot_path_differential.py`` enforce it.
     """
     ops = list(workload.ops(seed=seed, num_ops=num_ops))
 
-    baseline_alloc = make_baseline(config=config, memoize_traces=memoize_traces)
+    baseline_alloc = make_baseline(
+        config=config, memoize_traces=memoize_traces, intern_traces=intern_traces
+    )
     baseline = run_workload(
         baseline_alloc, ops, name=workload.name, model_app_traffic=model_app_traffic
     )
@@ -133,6 +145,7 @@ def compare_workload(
         config=config,
         cache_config=cache_config,
         memoize_traces=memoize_traces,
+        intern_traces=intern_traces,
     )
     mallacc = run_workload(
         mallacc_alloc, ops, name=workload.name, model_app_traffic=model_app_traffic

@@ -142,6 +142,46 @@ def trace_cache_summary(*results) -> dict[str, float]:
     }
 
 
+def intern_summary(*results) -> dict[str, float]:
+    """Aggregate emission-template intern stats over run results.
+
+    Accepts any objects carrying ``intern_hits``/``intern_misses``
+    (:class:`~repro.harness.runner.RunResult`,
+    :class:`~repro.harness.runner.MultiThreadRunResult`,
+    :class:`~repro.harness.parallel.CellResult`); returns hits, misses,
+    lookups, and the pooled hit rate.  All zeros means interning was
+    disabled (or nothing was allocated).  Like the trace cache, these are
+    measurement machinery, never science: interning on/off is byte-invisible
+    in every figure payload.
+    """
+    hits = sum(r.intern_hits for r in results)
+    misses = sum(r.intern_misses for r in results)
+    lookups = hits + misses
+    return {
+        "hits": float(hits),
+        "misses": float(misses),
+        "lookups": float(lookups),
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
+def profile_stage_shares(summary: dict) -> dict[str, float]:
+    """Per-stage share of replay wall time from a
+    :meth:`~repro.harness.profile.HotPathProfiler.summary` payload.
+
+    Shares are relative to the ``replay`` stage (the whole op loop); an
+    empty dict means the profiler never saw a replay."""
+    stages = summary.get("stages", {})
+    replay = stages.get("replay", {}).get("seconds", 0.0)
+    if not replay:
+        return {}
+    return {
+        name: stage["seconds"] / replay
+        for name, stage in stages.items()
+        if name != "replay"
+    }
+
+
 def mean_cycles(records: list[CallRecord], malloc_only: bool = True, fast_only: bool = False) -> float:
     sel = [
         r

@@ -45,7 +45,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.harness.experiments import compare_workload, summarize_comparison
-from repro.harness.metrics import trace_cache_summary
+from repro.harness.metrics import intern_summary, trace_cache_summary
 
 CHECKPOINT_VERSION = 1
 
@@ -117,8 +117,10 @@ class CellResult:
     """The scalar outcome of one cell (a serialized
     :func:`~repro.harness.experiments.summarize_comparison` payload).
 
-    ``wall_seconds`` is measurement machinery, not science — it is excluded
-    from :meth:`figure_data` so serial and sharded payloads compare equal.
+    ``wall_seconds`` and the intern counters are measurement machinery, not
+    science — they are excluded from :meth:`figure_data` so serial and
+    sharded payloads compare equal (and so interning on/off stays
+    byte-invisible in matrix output).
     """
 
     cell_id: str
@@ -128,6 +130,8 @@ class CellResult:
     seed: int
     summary: dict[str, float | int]
     wall_seconds: float = 0.0
+    intern_hits: int = 0
+    intern_misses: int = 0
 
     @property
     def trace_cache_hits(self) -> int:
@@ -170,6 +174,10 @@ def run_cell(cell: SweepCell) -> CellResult:
         num_ops=cell.num_ops,
         seed=cell.seed,
         summary=summarize_comparison(comparison),
+        intern_hits=comparison.baseline.intern_hits + comparison.mallacc.intern_hits,
+        intern_misses=(
+            comparison.baseline.intern_misses + comparison.mallacc.intern_misses
+        ),
     )
 
 
@@ -248,6 +256,7 @@ class MatrixStats:
     wall_seconds: float = 0.0
     per_cell_wall: dict[str, float] = field(default_factory=dict)
     trace_cache: dict[str, float] = field(default_factory=dict)
+    intern: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -402,6 +411,7 @@ def run_matrix(
     ordered = {cid: completed[cid] for cid in ids if cid in completed}
     stats.wall_seconds = time.perf_counter() - t_start
     stats.trace_cache = trace_cache_summary(*ordered.values())
+    stats.intern = intern_summary(*ordered.values())
     _emit(progress, {
         "event": "summary",
         "done": stats.cells_done,
@@ -411,6 +421,7 @@ def run_matrix(
         "quarantined": stats.cells_quarantined,
         "wall_seconds": stats.wall_seconds,
         "trace_cache_hit_rate": stats.trace_cache["hit_rate"],
+        "intern_hit_rate": stats.intern["hit_rate"],
     })
     return MatrixResult(results=ordered, quarantined=quarantined, stats=stats)
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.alloc.allocator import CallRecord, TCMalloc
+from repro.harness.profile import HotPathProfiler, machine_counter_snapshot
 from repro.workloads.base import Op, OpKind
 
 _APP_REGION_BASE = 0x0000_7000_0000_0000
@@ -32,6 +33,12 @@ class RunResult:
     trace_cache_hits: int = 0
     """Trace-scheduling memoization hits during this replay (0 if disabled)."""
     trace_cache_misses: int = 0
+    intern_hits: int = 0
+    """Emission-template intern hits during this replay (0 if disabled).
+    Simulator-performance telemetry, like the trace-cache counters above —
+    never part of the science payload (interning on/off is byte-invisible
+    to summaries)."""
+    intern_misses: int = 0
 
     @property
     def trace_cache_lookups(self) -> int:
@@ -41,6 +48,11 @@ class RunResult:
     def trace_cache_hit_rate(self) -> float:
         lookups = self.trace_cache_lookups
         return self.trace_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def intern_hit_rate(self) -> float:
+        lookups = self.intern_hits + self.intern_misses
+        return self.intern_hits / lookups if lookups else 0.0
 
     # -- aggregate cycle counts -------------------------------------------
     @property
@@ -114,16 +126,73 @@ def _distinct_machines(machines) -> list:
     return list({id(m): m for m in machines}.values())
 
 
+def _intern_snapshots(machines) -> list[tuple[int, int]]:
+    """(hits, misses) per distinct interner, for delta accounting."""
+    snaps = []
+    seen: set[int] = set()
+    for machine in _distinct_machines(machines):
+        interner = machine.interner
+        if interner is None or id(interner) in seen:
+            snaps.append(None)
+            continue
+        seen.add(id(interner))
+        snaps.append(interner.stats.snapshot())
+    return snaps
+
+
+def _intern_delta(machines, before) -> tuple[int, int]:
+    hits = misses = 0
+    for machine, snap in zip(_distinct_machines(machines), before):
+        if snap is None or machine.interner is None:
+            continue
+        h1, m1 = machine.interner.stats.snapshot()
+        hits += h1 - snap[0]
+        misses += m1 - snap[1]
+    return hits, misses
+
+
+def _profiler_begin(profiler: HotPathProfiler | None, machines):
+    """Attach ``profiler`` to every distinct machine; returns restore state
+    ``(previous profilers, counter snapshot, replay timer)`` or ``None``."""
+    if profiler is None:
+        return None
+    distinct = _distinct_machines(machines)
+    previous = [m.profiler for m in distinct]
+    for m in distinct:
+        m.profiler = profiler
+    counters = machine_counter_snapshot(distinct)
+    timer = profiler.timed("replay")
+    timer.__enter__()
+    return (distinct, previous, counters, timer)
+
+
+def _profiler_end(profiler: HotPathProfiler | None, state) -> None:
+    if profiler is None or state is None:
+        return
+    distinct, previous, counters_before, timer = state
+    timer.__exit__(None, None, None)
+    for machine, prev in zip(distinct, previous):
+        machine.profiler = prev
+    after = machine_counter_snapshot(distinct)
+    for name, value in after.items():
+        profiler.count(name, value - counters_before.get(name, 0))
+
+
 def run_workload(
     allocator: TCMalloc,
     ops: Iterable[Op],
     name: str = "",
     model_app_traffic: bool = True,
+    profiler: HotPathProfiler | None = None,
 ) -> RunResult:
     """Replay ``ops`` on ``allocator`` and return the measured results.
 
     The allocator's own record list is disabled; records are captured from
     each call's return value so warmup can be separated cleanly.
+
+    ``profiler`` (opt-in) is attached to the machine for the duration of the
+    replay: it collects per-stage wall time and, afterwards, this run's
+    deltas of the hot-path counters (intern, trace cache, hierarchy).
     """
     allocator.keep_records = False
     machine = allocator.machine
@@ -131,6 +200,8 @@ def run_workload(
     slots: dict[int, int] = {}
     app_offset = 0
     cache_before = _cache_snapshots([machine])
+    intern_before = _intern_snapshots([machine])
+    prof_state = _profiler_begin(profiler, [machine])
 
     for op in ops:
         if op.kind is OpKind.ANTAGONIZE:
@@ -169,9 +240,11 @@ def run_workload(
         else:
             result.records.append(record)
 
+    _profiler_end(profiler, prof_state)
     result.trace_cache_hits, result.trace_cache_misses = _cache_delta(
         [machine], cache_before
     )
+    result.intern_hits, result.intern_misses = _intern_delta([machine], intern_before)
     return result
 
 
@@ -191,6 +264,9 @@ class MultiThreadRunResult:
     """Memoization hits summed over all cores (coherent mode has one
     timing model per core)."""
     trace_cache_misses: int = 0
+    intern_hits: int = 0
+    """Emission-template intern hits summed over all cores' interners."""
+    intern_misses: int = 0
 
     @property
     def allocator_cycles(self) -> int:
@@ -209,12 +285,18 @@ class MultiThreadRunResult:
         lookups = self.trace_cache_lookups
         return self.trace_cache_hits / lookups if lookups else 0.0
 
+    @property
+    def intern_hit_rate(self) -> float:
+        lookups = self.intern_hits + self.intern_misses
+        return self.intern_hits / lookups if lookups else 0.0
+
 
 def run_multithreaded(
     mt_allocator,
     ops,
     name: str = "",
     model_app_traffic: bool = True,
+    profiler: HotPathProfiler | None = None,
 ) -> MultiThreadRunResult:
     """Replay a tid-tagged op stream on a
     :class:`repro.alloc.multithread.MultiThreadAllocator`.
@@ -231,6 +313,8 @@ def run_multithreaded(
     slots: dict[int, int] = {}
     machines = getattr(mt_allocator, "core_machines", [mt_allocator.machine])
     cache_before = _cache_snapshots(machines)
+    intern_before = _intern_snapshots(machines)
+    prof_state = _profiler_begin(profiler, machines)
     app_offset = 0
     for op in ops:
         if op.kind is _OpKind.ANTAGONIZE:
@@ -275,9 +359,11 @@ def run_multithreaded(
             result.per_thread_cycles[op.tid] = (
                 result.per_thread_cycles.get(op.tid, 0) + record.cycles
             )
+    _profiler_end(profiler, prof_state)
     result.trace_cache_hits, result.trace_cache_misses = _cache_delta(
         machines, cache_before
     )
+    result.intern_hits, result.intern_misses = _intern_delta(machines, intern_before)
     result.contention_cycles = mt_allocator.contention_cycles()
     stats = mt_allocator.coherence_stats()
     if stats is not None:

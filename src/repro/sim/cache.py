@@ -4,6 +4,23 @@ Each cache tracks which line addresses are resident per set and the LRU order
 within the set.  Timing is owned by :class:`repro.sim.hierarchy.CacheHierarchy`;
 this module is purely about hit/miss state and replacement.
 
+Two interchangeable implementations live here:
+
+* :class:`SetAssociativeCache` — the default.  Each set is a Python ``dict``
+  used as an ordered set (insertion order == LRU order, least recent first),
+  so ``lookup``/``insert``/``invalidate`` are O(1) amortized instead of the
+  O(assoc) list scans and shuffles of the original model.  On the simulator
+  hot path every load probes up to three levels, so this is one of the three
+  legs of the emission-side fast-forward.
+* :class:`ReferenceSetAssociativeCache` — the original per-set ``list``
+  model, kept verbatim as the executable specification.  The differential
+  suite (``tests/integration/test_hot_path_differential.py``) replays every
+  workload family against it and demands byte-identical results; set
+  ``REPRO_CACHE_IMPL=reference`` to run the whole simulator on it.
+
+Both implement *exact* true LRU with identical victim choice, so they are
+observationally equivalent — not just statistically similar.
+
 The ``evict_less_used_half`` operation implements the paper's *antagonist*
 microbenchmark hook: "after every allocation, invokes a simulator callback
 which evicts the less used half of each set of the L1 and L2 data caches"
@@ -12,7 +29,9 @@ which evicts the less used half of each set of the L1 and L2 data caches"
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from itertools import islice
 
 
 @dataclass(frozen=True)
@@ -38,14 +57,21 @@ class CacheConfig:
 
 
 class SetAssociativeCache:
-    """One level of cache: per-set LRU lists of resident line addresses."""
+    """One level of cache: per-set LRU dicts of resident line addresses.
+
+    Each set is a ``dict[int, None]`` ordered least-recently-used first:
+    an LRU refresh is delete + reinsert (both O(1)), the victim is
+    ``next(iter(set))``.  Replacement decisions match
+    :class:`ReferenceSetAssociativeCache` exactly.
+    """
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._line_shift = config.line_size.bit_length() - 1
         self._num_sets = config.num_sets
-        # Each set is a list of line numbers, most recently used last.
-        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self._assoc = config.assoc
+        # Each set maps line number -> None, least recently used first.
+        self._sets: list[dict[int, None]] = [{} for _ in range(self._num_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -57,43 +83,45 @@ class SetAssociativeCache:
 
     def lookup(self, addr: int, update_lru: bool = True) -> bool:
         """Probe for ``addr``; returns True on hit and refreshes LRU."""
-        line = self._line_of(addr)
-        ways = self._sets[self._set_of(line)]
+        line = addr >> self._line_shift
+        ways = self._sets[line % self._num_sets]
         if line in ways:
             self.hits += 1
             if update_lru:
-                ways.remove(line)
-                ways.append(line)
+                del ways[line]
+                ways[line] = None
             return True
         self.misses += 1
         return False
 
     def contains(self, addr: int) -> bool:
         """Non-mutating residence check (no LRU update, no stats)."""
-        line = self._line_of(addr)
-        return line in self._sets[self._set_of(line)]
+        line = addr >> self._line_shift
+        return line in self._sets[line % self._num_sets]
 
     def insert(self, addr: int) -> int | None:
         """Fill the line holding ``addr``; returns the evicted line address
         (first byte) if a victim was chosen, else None."""
-        line = self._line_of(addr)
-        ways = self._sets[self._set_of(line)]
+        line = addr >> self._line_shift
+        ways = self._sets[line % self._num_sets]
         if line in ways:
-            ways.remove(line)
-            ways.append(line)
+            del ways[line]
+            ways[line] = None
             return None
         victim = None
-        if len(ways) >= self.config.assoc:
-            victim = ways.pop(0) << self._line_shift
-        ways.append(line)
+        if len(ways) >= self._assoc:
+            victim_line = next(iter(ways))
+            del ways[victim_line]
+            victim = victim_line << self._line_shift
+        ways[line] = None
         return victim
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr`` if resident."""
-        line = self._line_of(addr)
-        ways = self._sets[self._set_of(line)]
+        line = addr >> self._line_shift
+        ways = self._sets[line % self._num_sets]
         if line in ways:
-            ways.remove(line)
+            del ways[line]
             return True
         return False
 
@@ -106,9 +134,11 @@ class SetAssociativeCache:
         """
         evicted = 0
         for ways in self._sets:
-            keep = len(ways) - len(ways) // 2
-            evicted += len(ways) - keep
-            del ways[: len(ways) - keep]
+            drop = len(ways) // 2
+            if drop:
+                for line in list(islice(ways, drop)):
+                    del ways[line]
+                evicted += drop
         return evicted
 
     def flush(self) -> None:
@@ -124,3 +154,79 @@ class SetAssociativeCache:
     def miss_rate(self) -> float:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
+
+
+class ReferenceSetAssociativeCache(SetAssociativeCache):
+    """The original per-set-``list`` model (most recently used last).
+
+    O(assoc) per operation; kept as the executable specification the O(1)
+    model is differentially tested against.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        super().__init__(config)
+        # Each set is a list of line numbers, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]  # type: ignore[assignment]
+
+    def lookup(self, addr: int, update_lru: bool = True) -> bool:
+        line = self._line_of(addr)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            self.hits += 1
+            if update_lru:
+                ways.remove(line)
+                ways.append(line)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        line = self._line_of(addr)
+        return line in self._sets[self._set_of(line)]
+
+    def insert(self, addr: int) -> int | None:
+        line = self._line_of(addr)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return None
+        victim = None
+        if len(ways) >= self.config.assoc:
+            victim = ways.pop(0) << self._line_shift
+        ways.append(line)
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        line = self._line_of(addr)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            ways.remove(line)
+            return True
+        return False
+
+    def evict_less_used_half(self) -> int:
+        evicted = 0
+        for ways in self._sets:
+            keep = len(ways) - len(ways) // 2
+            evicted += len(ways) - keep
+            del ways[: len(ways) - keep]
+        return evicted
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+
+def cache_class_from_env() -> type[SetAssociativeCache]:
+    """The cache implementation selected by ``REPRO_CACHE_IMPL``.
+
+    ``reference`` (or ``list``) selects :class:`ReferenceSetAssociativeCache`;
+    anything else — including unset — selects the O(1) default.  Read at
+    hierarchy construction time so tests and the differential benchmark can
+    switch implementations per machine without rebuilding the process.
+    """
+    impl = os.environ.get("REPRO_CACHE_IMPL", "").strip().lower()
+    if impl in ("reference", "list"):
+        return ReferenceSetAssociativeCache
+    return SetAssociativeCache

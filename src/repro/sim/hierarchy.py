@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.cache import CacheConfig, SetAssociativeCache
+from repro.sim.cache import CacheConfig, SetAssociativeCache, cache_class_from_env
 
 
 @dataclass(frozen=True)
@@ -39,10 +39,50 @@ class CacheHierarchy:
 
     def __init__(self, config: HierarchyConfig | None = None) -> None:
         self.config = config or HierarchyConfig()
-        self.l1 = SetAssociativeCache(self.config.l1)
-        self.l2 = SetAssociativeCache(self.config.l2)
-        self.l3 = SetAssociativeCache(self.config.l3)
+        cache_cls = cache_class_from_env()
+        self.l1 = cache_cls(self.config.l1)
+        self.l2 = cache_cls(self.config.l2)
+        self.l3 = cache_cls(self.config.l3)
         self.dram_accesses = 0
+        self._refresh_fast_path()
+
+    def _refresh_fast_path(self) -> None:
+        """Enable the inlined dict-walk in :meth:`access` only when every
+        level is the stock O(1) cache with a common line size.  Subclasses
+        that swap levels (shared L3) must call this again.
+
+        ``demand_access`` is the pre-dispatched bound method emitters should
+        call for ordinary loads/stores: the inlined walk when it applies,
+        plain :meth:`access` otherwise (including any subclass override —
+        ``CoherentHierarchy`` wraps access with directory coherence, so its
+        instances always resolve to the wrapper here)."""
+        self._fast = (
+            type(self.l1) is SetAssociativeCache
+            and type(self.l2) is SetAssociativeCache
+            and type(self.l3) is SetAssociativeCache
+            and self.l1._line_shift == self.l2._line_shift == self.l3._line_shift
+        )
+        if self._fast:
+            # Hoisted geometry/latency constants for the inlined walk.
+            self._shift = self.l1._line_shift
+            self._sets1, self._n1, self._a1 = self.l1._sets, self.l1._num_sets, self.l1._assoc
+            self._sets2, self._n2, self._a2 = self.l2._sets, self.l2._num_sets, self.l2._assoc
+            self._sets3, self._n3, self._a3 = self.l3._sets, self.l3._num_sets, self.l3._assoc
+            self._lat1 = self.config.l1.latency
+            self._lat2 = self.config.l2.latency
+            self._lat3 = self.config.l3.latency
+            self._lat_dram = self.config.dram_latency
+        self._fast_demand = self._fast and type(self) is CacheHierarchy
+        if self._fast:
+            # Plain hierarchies inline even the back-invalidations; anything
+            # with a _back_invalidate_l3_victim override keeps the hook.
+            self._access_inner = (
+                self._access_fast_plain if self._fast_demand else self._access_fast
+            )
+        if self._fast_demand:
+            self.demand_access = self._access_inner
+        else:
+            self.demand_access = self.access
 
     @property
     def levels(self) -> tuple[SetAssociativeCache, ...]:
@@ -57,20 +97,175 @@ class CacheHierarchy:
         but the line movement is identical.
         """
         del write  # line movement is identical for loads and stores
+        if self._fast:
+            return self._access_inner(addr)
         if self.l1.lookup(addr):
             return self.config.l1.latency
         if self.l2.lookup(addr):
             self.l1.insert(addr)
             return self.config.l2.latency
         if self.l3.lookup(addr):
-            self.l2.insert(addr)
-            self.l1.insert(addr)
+            self._fill_inner(addr)
             return self.config.l3.latency
         self.dram_accesses += 1
-        self.l3.insert(addr)
-        self.l2.insert(addr)
-        self.l1.insert(addr)
+        victim = self.l3.insert(addr)
+        if victim is not None:
+            self._back_invalidate_l3_victim(victim)
+        self._fill_inner(addr)
         return self.config.dram_latency
+
+    def _access_fast_plain(self, addr: int) -> int:
+        """:meth:`_access_fast` with the fills and back-invalidations inlined
+        too — valid only for plain hierarchies (``_fast_demand``), where the
+        L3 back-invalidation targets this instance's own L1/L2.
+
+        Two structural shortcuts relative to the generic path, both
+        behavior-preserving: the inner-level fills skip the ``insert``
+        refresh-if-present check (the line just *missed* that level and
+        nothing re-inserts it in between), and victims are picked with a
+        ``for…break`` first-key read instead of ``next(iter(…))``."""
+        line = addr >> self._shift
+        ways1 = self._sets1[line % self._n1]
+        if line in ways1:
+            self.l1.hits += 1
+            del ways1[line]
+            ways1[line] = None
+            return self._lat1
+        self.l1.misses += 1
+        ways2 = self._sets2[line % self._n2]
+        if line in ways2:
+            self.l2.hits += 1
+            del ways2[line]
+            ways2[line] = None
+            if len(ways1) >= self._a1:
+                for v1 in ways1:
+                    break
+                del ways1[v1]
+            ways1[line] = None
+            return self._lat2
+        self.l2.misses += 1
+        ways3 = self._sets3[line % self._n3]
+        if line in ways3:
+            self.l3.hits += 1
+            del ways3[line]
+            ways3[line] = None
+            latency = self._lat3
+        else:
+            self.l3.misses += 1
+            self.dram_accesses += 1
+            if len(ways3) >= self._a3:
+                for v3 in ways3:
+                    break
+                del ways3[v3]
+                # Inclusive back-invalidation of this core's inner levels.
+                vset = self._sets2[v3 % self._n2]
+                if v3 in vset:
+                    del vset[v3]
+                vset = self._sets1[v3 % self._n1]
+                if v3 in vset:
+                    del vset[v3]
+            ways3[line] = None
+            latency = self._lat_dram
+        # Fill L2 (back-invalidating its victim from L1), then L1.
+        if len(ways2) >= self._a2:
+            for v2 in ways2:
+                break
+            del ways2[v2]
+            vset = self._sets1[v2 % self._n1]
+            if v2 in vset:
+                del vset[v2]
+        ways2[line] = None
+        if len(ways1) >= self._a1:
+            for v1 in ways1:
+                break
+            del ways1[v1]
+        ways1[line] = None
+        return latency
+
+    def _access_fast(self, addr: int) -> int:
+        """Inlined equivalent of the generic probe chain above, walking the
+        per-set dicts of :class:`SetAssociativeCache` directly with hoisted
+        geometry (see :meth:`_refresh_fast_path`).  Semantics — LRU order,
+        counters, inclusion back-invalidations — are identical; the sim unit
+        tests and the hot-path differential suite compare it against the
+        reference implementation byte-for-byte."""
+        line = addr >> self._shift
+        ways1 = self._sets1[line % self._n1]
+        if line in ways1:
+            self.l1.hits += 1
+            del ways1[line]
+            ways1[line] = None
+            return self._lat1
+        self.l1.misses += 1
+        ways2 = self._sets2[line % self._n2]
+        if line in ways2:
+            self.l2.hits += 1
+            del ways2[line]
+            ways2[line] = None
+            self._fill_fast(line, ways1, ways2, fill_l2=False)
+            return self._lat2
+        self.l2.misses += 1
+        ways3 = self._sets3[line % self._n3]
+        if line in ways3:
+            self.l3.hits += 1
+            del ways3[line]
+            ways3[line] = None
+            self._fill_fast(line, ways1, ways2, fill_l2=True)
+            return self._lat3
+        self.l3.misses += 1
+        self.dram_accesses += 1
+        if len(ways3) >= self._a3:
+            victim = next(iter(ways3))
+            del ways3[victim]
+            self._back_invalidate_l3_victim(victim << self._shift)
+        ways3[line] = None
+        self._fill_fast(line, ways1, ways2, fill_l2=True)
+        return self._lat_dram
+
+    def _fill_fast(self, line, ways1, ways2, fill_l2) -> None:
+        """Dict-walk twin of :meth:`_fill_inner` (insert semantics: refresh
+        if present, else evict the true-LRU victim; L2 victims are
+        back-invalidated from L1)."""
+        if fill_l2:
+            if line in ways2:
+                del ways2[line]
+                ways2[line] = None
+            else:
+                if len(ways2) >= self._a2:
+                    victim = next(iter(ways2))
+                    del ways2[victim]
+                    vset = self._sets1[victim % self._n1]
+                    if victim in vset:
+                        del vset[victim]
+                ways2[line] = None
+        if line in ways1:
+            del ways1[line]
+            ways1[line] = None
+        else:
+            if len(ways1) >= self._a1:
+                del ways1[next(iter(ways1))]
+            ways1[line] = None
+
+    def _fill_inner(self, addr: int) -> None:
+        """Fill L2 then L1, honoring inclusion: an L2 victim may still be
+        live in L1 and must be back-invalidated there."""
+        victim = self.l2.insert(addr)
+        if victim is not None:
+            self.l1.invalidate(victim)
+        self.l1.insert(addr)
+
+    def _back_invalidate_l3_victim(self, victim: int) -> None:
+        """An L3 eviction must purge the line from every inner level the L3
+        backs (inclusive hierarchy).  Single-core: this hierarchy's L1/L2;
+        :class:`repro.sim.multicore.CoherentHierarchy` overrides this to
+        broadcast across all cores sharing the L3."""
+        self.l2.invalidate(victim)
+        self.l1.invalidate(victim)
+
+    def _access_write(self, addr: int) -> int:
+        """``access(addr, write=True)`` as a single bound callable, for
+        emitters that pre-bind their store path."""
+        return self.access(addr, True)
 
     def prefetch(self, addr: int) -> int:
         """Fill ``addr`` and report when the data arrives (same latency as a
@@ -94,9 +289,91 @@ class CacheHierarchy:
 
     def touch_lines(self, base: int, num_lines: int, stride: int = 64) -> None:
         """Model application memory traffic between allocator calls by
-        touching ``num_lines`` lines starting at ``base``."""
-        for i in range(num_lines):
-            self.access(base + i * stride)
+        touching ``num_lines`` lines starting at ``base``.
+
+        On plain fast-path hierarchies the whole stream runs in one loop
+        with hoisted locals and hit/miss counters accumulated at the end —
+        line movement and final counter values are identical to calling
+        :meth:`access` per line (nothing can observe the counters
+        mid-stream), and the differential suite holds it to that."""
+        if not self._fast_demand:
+            access = self.demand_access
+            for i in range(num_lines):
+                access(base + i * stride)
+            return
+        shift = self._shift
+        sets1, n1, a1 = self._sets1, self._n1, self._a1
+        sets2, n2, a2 = self._sets2, self._n2, self._a2
+        sets3, n3, a3 = self._sets3, self._n3, self._a3
+        if stride >= (1 << shift) and stride % (1 << shift) == 0:
+            # Whole-line strides never carry into the line number, so the
+            # touched lines are an exact arithmetic range (C-level iteration).
+            step = stride >> shift
+            start = base >> shift
+            lines = range(start, start + num_lines * step, step)
+        else:
+            lines = [(base + i * stride) >> shift for i in range(num_lines)]
+        h1 = m1 = h2 = m2 = h3 = m3 = dram = 0
+        _len = len  # local bind: ~3 calls per missing line, below
+        for line in lines:
+            ways1 = sets1[line % n1]
+            if line in ways1:
+                h1 += 1
+                del ways1[line]
+                ways1[line] = None
+                continue
+            m1 += 1
+            ways2 = sets2[line % n2]
+            if line in ways2:
+                h2 += 1
+                del ways2[line]
+                ways2[line] = None
+                if _len(ways1) >= a1:
+                    for v1 in ways1:
+                        break
+                    del ways1[v1]
+                ways1[line] = None
+                continue
+            m2 += 1
+            ways3 = sets3[line % n3]
+            if line in ways3:
+                h3 += 1
+                del ways3[line]
+                ways3[line] = None
+            else:
+                m3 += 1
+                dram += 1
+                if _len(ways3) >= a3:
+                    for v3 in ways3:
+                        break
+                    del ways3[v3]
+                    vset = sets2[v3 % n2]
+                    if v3 in vset:
+                        del vset[v3]
+                    vset = sets1[v3 % n1]
+                    if v3 in vset:
+                        del vset[v3]
+                ways3[line] = None
+            if _len(ways2) >= a2:
+                for v2 in ways2:
+                    break
+                del ways2[v2]
+                vset = sets1[v2 % n1]
+                if v2 in vset:
+                    del vset[v2]
+            ways2[line] = None
+            if _len(ways1) >= a1:
+                for v1 in ways1:
+                    break
+                del ways1[v1]
+            ways1[line] = None
+        self.l1.hits += h1
+        self.l1.misses += m1
+        self.l2.hits += h2
+        self.l2.misses += m2
+        self.l3.hits += h3
+        self.l3.misses += m3
+        self.dram_accesses += dram
 
     def flush_all(self) -> None:
         for level in self.levels:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.cache import SetAssociativeCache
+from repro.sim.cache import SetAssociativeCache, cache_class_from_env
 from repro.sim.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.sim.memory import SimulatedMemory, VirtualAddressSpace
 from repro.sim.timing import CoreConfig, TimingModel
@@ -91,7 +91,15 @@ class CoherentHierarchy(CacheHierarchy):
         self.directory = directory
         self.core_id = core_id
         self.l3 = shared_l3  # all cores fill and hit the same L3
+        self._refresh_fast_path()  # l3 changed class identity; re-gate
         directory.register(self)
+
+    def _back_invalidate_l3_victim(self, victim: int) -> None:
+        # The L3 is shared and inclusive of *every* core's private levels,
+        # so its eviction must be broadcast, not applied locally.
+        for core in self.directory.cores:
+            core.l2.invalidate(victim)
+            core.l1.invalidate(victim)
 
     def access(self, addr: int, write: bool = False) -> int:
         local_hit = self.l1.contains(addr) or self.l2.contains(addr)
@@ -114,7 +122,7 @@ class SharedSubstrate:
 
     def __post_init__(self) -> None:
         if self.l3 is None:
-            self.l3 = SetAssociativeCache(HierarchyConfig().l3)
+            self.l3 = cache_class_from_env()(HierarchyConfig().l3)
 
 
 def build_core_machines(num_cores: int, substrate: SharedSubstrate | None = None):

@@ -20,7 +20,7 @@ is reproducible with this model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.trace_cache import DEFAULT_TRACE_CACHE_ENTRIES, TraceCache, TraceCacheStats
 from repro.sim.uop import Tag, Trace, UopKind
@@ -47,11 +47,16 @@ class CoreConfig:
 
 @dataclass
 class TimingResult:
-    """Outcome of scheduling one trace."""
+    """Outcome of scheduling one trace.
+
+    Results coming out of :meth:`TimingModel.run` are memoized and *shared*
+    between trace-cache hits, so the per-uop time vectors are tuples: a
+    caller mutating a list here would silently corrupt every later hit on
+    the same fingerprint."""
 
     cycles: int
-    issue_times: list[int] = field(default_factory=list)
-    ready_times: list[int] = field(default_factory=list)
+    issue_times: tuple[int, ...] = ()
+    ready_times: tuple[int, ...] = ()
 
     @property
     def num_uops(self) -> int:
@@ -102,7 +107,7 @@ class TimingModel:
         cache = self.cache
         if cache is None:
             return self._schedule(trace)
-        key = trace.fingerprint()
+        key = trace.fingerprint_key()
         result = cache.get(key)
         if result is None:
             result = self._schedule(trace)
@@ -120,7 +125,7 @@ class TimingModel:
         cache = self.cache
         if cache is None:
             return self._schedule(trace.without_tags(tags))
-        key = (trace.fingerprint(), tags)
+        key = (trace.fingerprint_key(), tags)
         result = cache.get(key)
         if result is None:
             result = self._schedule(trace.without_tags(tags))
@@ -129,58 +134,77 @@ class TimingModel:
 
     # --------------------------------------------------------------- schedule
     def _schedule(self, trace: Trace) -> TimingResult:
-        width = self.config.issue_width
+        # Hot loop: every name used per-uop is a local (attribute chains and
+        # enum lookups hoisted), with behavior identical to the obvious
+        # spelling — memoization makes this the cost of every cache *miss*.
+        config = self.config
+        width = config.issue_width
+        load_ports = config.load_ports
+        store_ports = config.store_ports
+        rob_size = config.rob_size
+        kind_load, kind_prefetch, kind_store = UopKind.LOAD, UopKind.PREFETCH, UopKind.STORE
         issue_times: list[int] = []
         ready_times: list[int] = []
         slots: dict[int, int] = {}
         load_slots: dict[int, int] = {}
         store_slots: dict[int, int] = {}
+        slots_get = slots.get
+        load_get = load_slots.get
+        store_get = store_slots.get
+        issue_append = issue_times.append
+        ready_append = ready_times.append
 
         completion = 0
         retire_times: list[int] = []
+        retire_append = retire_times.append
         retire_frontier = 0
         for i, uop in enumerate(trace):
-            dep_ready = 0
+            cycle = 0
             for dep in uop.deps:
-                if ready_times[dep] > dep_ready:
-                    dep_ready = ready_times[dep]
-            cycle = dep_ready
-            if i >= self.config.rob_size:
+                if ready_times[dep] > cycle:
+                    cycle = ready_times[dep]
+            if i >= rob_size:
                 # The ROB slot frees when the op rob_size older retires.
-                oldest_retire = retire_times[i - self.config.rob_size]
+                oldest_retire = retire_times[i - rob_size]
                 if oldest_retire > cycle:
                     cycle = oldest_retire
-            is_load = uop.kind in (UopKind.LOAD, UopKind.PREFETCH)
-            is_store = uop.kind is UopKind.STORE
+            kind = uop.kind
+            is_load = kind is kind_load or kind is kind_prefetch
+            is_store = kind is kind_store
             while (
-                slots.get(cycle, 0) >= width
-                or (is_load and load_slots.get(cycle, 0) >= self.config.load_ports)
-                or (is_store and store_slots.get(cycle, 0) >= self.config.store_ports)
+                slots_get(cycle, 0) >= width
+                or (is_load and load_get(cycle, 0) >= load_ports)
+                or (is_store and store_get(cycle, 0) >= store_ports)
             ):
                 cycle += 1
-            slots[cycle] = slots.get(cycle, 0) + 1
+            slots[cycle] = slots_get(cycle, 0) + 1
             if is_load:
-                load_slots[cycle] = load_slots.get(cycle, 0) + 1
+                load_slots[cycle] = load_get(cycle, 0) + 1
             elif is_store:
-                store_slots[cycle] = store_slots.get(cycle, 0) + 1
-            issue_times.append(cycle)
+                store_slots[cycle] = store_get(cycle, 0) + 1
+            issue_append(cycle)
 
             ready = cycle + uop.latency
-            ready_times.append(ready)
+            ready_append(ready)
 
-            if uop.kind is UopKind.STORE or uop.kind is UopKind.PREFETCH:
+            if is_store or kind is kind_prefetch:
                 # Buffered: occupies a slot, retires without stalling.
                 on_path = cycle + 1
             else:
                 on_path = ready
             # In-order retirement: an op retires no earlier than its elders.
-            retire_frontier = max(retire_frontier, on_path)
-            retire_times.append(retire_frontier)
+            if on_path > retire_frontier:
+                retire_frontier = on_path
+            retire_append(retire_frontier)
             if on_path > completion:
                 completion = on_path
 
         cycles = completion + self.config.pipeline_overhead
-        return TimingResult(cycles=cycles, issue_times=issue_times, ready_times=ready_times)
+        return TimingResult(
+            cycles=cycles,
+            issue_times=tuple(issue_times),
+            ready_times=tuple(ready_times),
+        )
 
     def critical_path(self, trace: Trace) -> int:
         """Latency-only lower bound: the longest dependence chain, ignoring

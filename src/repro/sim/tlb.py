@@ -27,24 +27,28 @@ class TLB:
     def __init__(self, config: TLBConfig | None = None) -> None:
         self.config = config or TLBConfig()
         self._entries: OrderedDict[int, None] = OrderedDict()
+        self._page_size = self.config.page_size
+        self._capacity = self.config.entries
+        self._penalty = self.config.miss_penalty
         self.hits = 0
         self.misses = 0
 
     def _page_of(self, addr: int) -> int:
-        return addr // self.config.page_size
+        return addr // self._page_size
 
     def access(self, addr: int) -> int:
         """Translate ``addr``; returns the added penalty (0 on a TLB hit)."""
-        page = self._page_of(addr)
-        if page in self._entries:
-            self._entries.move_to_end(page)
+        page = addr // self._page_size
+        entries = self._entries
+        if page in entries:
+            entries.move_to_end(page)
             self.hits += 1
             return 0
         self.misses += 1
-        if len(self._entries) >= self.config.entries:
-            self._entries.popitem(last=False)
-        self._entries[page] = None
-        return self.config.miss_penalty
+        if len(entries) >= self._capacity:
+            entries.popitem(last=False)
+        entries[page] = None
+        return self._penalty
 
     def contains(self, addr: int) -> bool:
         return self._page_of(addr) in self._entries

@@ -50,10 +50,14 @@ class Tag(enum.Enum):
 LIMIT_STUDY_TAGS = frozenset({Tag.SIZE_CLASS, Tag.SAMPLING, Tag.PUSH_POP})
 
 
-@dataclass
+@dataclass(slots=True)
 class Uop:
     """One micro-op: kind, source dependences (trace indices), and timing
-    inputs resolved at emission time."""
+    inputs resolved at emission time.
+
+    ``slots=True``: hundreds of thousands of these materialize per replay
+    (intern misses and every slow-path call), and the scheduler reads their
+    fields per uop — slots skip the per-instance ``__dict__``."""
 
     kind: UopKind
     deps: tuple[int, ...] = ()
@@ -65,6 +69,33 @@ class Uop:
         if self.kind in (UopKind.LOAD, UopKind.STORE, UopKind.PREFETCH):
             if self.addr is None:
                 raise ValueError(f"{self.kind} requires an address")
+
+
+class FingerprintKey:
+    """A trace fingerprint with its hash computed once.
+
+    Hash- and equality-compatible with the underlying fingerprint tuple in
+    both directions, so dict entries stored under either form find each
+    other.  Interned traces are looked up in the trace cache on every
+    allocator call; without this, each lookup re-hashes a ~40-element tuple
+    of tuples."""
+
+    __slots__ = ("fp", "_hash")
+
+    def __init__(self, fp: tuple) -> None:
+        self.fp = fp
+        self._hash = hash(fp)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FingerprintKey):
+            return self.fp == other.fp
+        return self.fp == other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FingerprintKey({self.fp!r})"
 
 
 @dataclass
@@ -82,6 +113,19 @@ class Trace:
 
     def __iter__(self):
         return iter(self.uops)
+
+    def fingerprint_key(self):
+        """The fingerprint as a memoization key.
+
+        For traces with a precomputed fingerprint (interned templates), the
+        key is a :class:`FingerprintKey` wrapper whose hash is computed once
+        and cached — hash- and equality-compatible with the plain tuple, so
+        it indexes the same :class:`~repro.sim.trace_cache.TraceCache`
+        entries and leaves hit/miss accounting untouched.  Ad-hoc traces
+        return the plain tuple (computing a wrapper per throwaway trace
+        would cost exactly the hash it tries to save)."""
+        key = getattr(self, "_fp_key", None)
+        return key if key is not None else self.fingerprint()
 
     def fingerprint(self) -> tuple:
         """Canonical scheduling identity: ``(kind, latency, deps, tag)`` per
@@ -155,50 +199,104 @@ class TraceBuilder:
     loads is resolved by the caller (the allocator consults the cache
     hierarchy at emission time, because hit/miss depends on the live cache
     state at that point in the run).
+
+    Construction is *deferred*: emission records ``(kind, deps, addr, tag)``
+    structure tuples plus a parallel latency list, and the :class:`Uop`
+    objects only materialize in :meth:`build`.  This is what makes
+    :meth:`build_interned` cheap — on an intern hit (the allocator fast
+    paths, i.e. almost every call of a replay) no ``Uop`` and no ``Trace``
+    are ever constructed; the shared, fingerprinted instance comes straight
+    out of the :class:`~repro.sim.trace_intern.TraceInterner`.
+
+    Decision *tokens* (:meth:`note`, and every branch outcome recorded by
+    :meth:`~repro.alloc.context.Emitter.branch`) name the control path taken
+    through the emission site; together with the site label they key the
+    intern template.  Any structural decision that is not visible as a
+    branch token **must** be noted, or two different shapes would collide on
+    one template (the interner's validate mode exists to catch exactly
+    that).
     """
 
     def __init__(self) -> None:
-        self._uops: list[Uop] = []
-        self._keys: list[tuple] = []
+        # Parallel arrays: structure (static per control path) and latencies
+        # (dynamic, resolved against live cache/TLB/predictor state).  The
+        # appends are pre-bound: recording runs once per uop per allocator
+        # call, intern hit or not.
+        self._records: list[tuple] = []  # (kind, deps, addr, tag)
+        self._latencies: list[int] = []
+        self._tokens: list = []
+        self._rec = self._records.append
+        self._lat = self._latencies.append
 
-    def _emit(self, uop: Uop) -> int:
-        self._uops.append(uop)
-        # Accumulate the scheduling fingerprint as ops are emitted: the
-        # fields are in hand here, which makes Trace.fingerprint() O(1) on
-        # the memoization hit path (see repro.sim.trace_cache).
-        self._keys.append((uop.kind._value_, uop.latency, uop.deps, uop.tag._value_))
-        return len(self._uops) - 1
+    def note(self, token) -> None:
+        """Record a control-path decision that has no branch uop (e.g. a
+        Mallacc push hit, the presence of a head prefetch)."""
+        self._tokens.append(token)
 
     def alu(self, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING, latency: int = 1) -> int:
-        return self._emit(Uop(UopKind.ALU, deps=deps, latency=latency, tag=tag))
+        self._rec((UopKind.ALU, deps, None, tag))
+        self._lat(latency)
+        return len(self._latencies) - 1
 
     def load(self, addr: int, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
-        return self._emit(Uop(UopKind.LOAD, deps=deps, addr=addr, latency=latency, tag=tag))
+        self._rec((UopKind.LOAD, deps, addr, tag))
+        self._lat(latency)
+        return len(self._latencies) - 1
 
     def store(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
-        return self._emit(Uop(UopKind.STORE, deps=deps, addr=addr, latency=1, tag=tag))
+        self._rec((UopKind.STORE, deps, addr, tag))
+        self._lat(1)
+        return len(self._latencies) - 1
 
     def branch(self, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING, mispredict_penalty: int = 0) -> int:
-        return self._emit(
-            Uop(UopKind.BRANCH, deps=deps, latency=1 + mispredict_penalty, tag=tag)
-        )
+        self._rec((UopKind.BRANCH, deps, None, tag))
+        self._lat(1 + mispredict_penalty)
+        return len(self._latencies) - 1
 
     def mallacc(self, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.MALLACC) -> int:
-        return self._emit(Uop(UopKind.MALLACC, deps=deps, latency=latency, tag=tag))
+        self._rec((UopKind.MALLACC, deps, None, tag))
+        self._lat(latency)
+        return len(self._latencies) - 1
 
     def prefetch(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.MALLACC) -> int:
-        return self._emit(Uop(UopKind.PREFETCH, deps=deps, addr=addr, latency=1, tag=tag))
+        self._rec((UopKind.PREFETCH, deps, addr, tag))
+        self._lat(1)
+        return len(self._latencies) - 1
 
     def fixed(self, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.SLOW_PATH) -> int:
         """A modeled block (lock acquire, system call) with a preset cost."""
-        return self._emit(Uop(UopKind.FIXED, deps=deps, latency=latency, tag=tag))
+        self._rec((UopKind.FIXED, deps, None, tag))
+        self._lat(latency)
+        return len(self._latencies) - 1
 
     def last_index(self) -> int:
-        if not self._uops:
+        if not self._latencies:
             raise IndexError("trace is empty")
-        return len(self._uops) - 1
+        return len(self._latencies) - 1
+
+    def _materialize(self) -> Trace:
+        """Construct the Uops and Trace, fingerprint precomputed."""
+        latencies = self._latencies
+        uops = [
+            Uop(kind, deps, addr, latencies[i], tag)
+            for i, (kind, deps, addr, tag) in enumerate(self._records)
+        ]
+        trace = Trace(uops=uops)
+        trace._fingerprint = tuple(
+            [
+                (rec[0]._value_, latencies[i], rec[1], rec[3]._value_)
+                for i, rec in enumerate(self._records)
+            ]
+        )
+        return trace
 
     def build(self) -> Trace:
-        trace = Trace(uops=self._uops)
-        trace._fingerprint = tuple(self._keys)
-        return trace
+        return self._materialize()
+
+    def build_interned(self, interner, site: str) -> Trace:
+        """Build through ``interner``: identical ``(site, tokens,
+        latencies)`` calls return the same shared :class:`Trace` object
+        without materializing anything."""
+        return interner.intern(
+            site, tuple(self._tokens), tuple(self._latencies), self._materialize
+        )

@@ -1,0 +1,263 @@
+"""Differential grid: the emission fast-forward is byte-invisible.
+
+The hot-path work — interned trace templates, the O(1) per-set cache model
+with its inlined three-level walk, the batched app-traffic stream, the
+cached-fingerprint trace-cache keys — all promise *exact* behavioral
+equivalence: any (intern on/off) x (O(1) vs reference caches) combination
+must reproduce identical per-call cycles, ablations, paths, and aggregate
+accounting on identical op streams.  This suite holds every workload family
+to that promise, across serial, multithreaded, and sweep entry points, and
+(in subprocesses) across hash-randomization seeds.
+
+The cache implementation is chosen from ``REPRO_CACHE_IMPL`` at hierarchy
+construction, so each configuration builds its allocators inside the env
+context.  App-traffic modeling stays ON for the single-threaded grids —
+that is what routes the batched ``touch_lines`` walk (fast) against the
+per-line reference loop.
+"""
+
+import os
+import subprocess
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.alloc.multithread import MultiThreadAllocator
+from repro.harness.experiments import make_baseline, make_mallacc
+from repro.harness.runner import run_multithreaded, run_workload
+from repro.harness.sweeps import sweep_cache_sizes
+from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS, class_thrash
+from repro.workloads.threads import balanced_churn
+
+#: (cache impl env value or None for the O(1) default, intern_traces)
+GRID = [
+    (None, True),
+    (None, False),
+    ("reference", True),
+    ("reference", False),
+]
+
+
+@contextmanager
+def _cache_impl(impl):
+    saved = os.environ.get("REPRO_CACHE_IMPL")
+    if impl is None:
+        os.environ.pop("REPRO_CACHE_IMPL", None)
+    else:
+        os.environ["REPRO_CACHE_IMPL"] = impl
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_IMPL", None)
+        else:
+            os.environ["REPRO_CACHE_IMPL"] = saved
+
+
+def _observable(result):
+    """Everything a replay exposes that the fast paths must not perturb."""
+    return {
+        "cycles": [r.cycles for r in result.records],
+        "ablated": [dict(r.ablated) for r in result.records],
+        "paths": [r.path.value for r in result.records],
+        "app_cycles": result.app_cycles,
+        "warmup": (result.warmup_calls, result.warmup_cycles),
+        "trace_cache": (result.trace_cache_hits, result.trace_cache_misses),
+    }
+
+
+def _hierarchy_state(machine):
+    """Full resident-line state + counters of one machine's hierarchy."""
+    h = machine.hierarchy
+    return {
+        "lines": [
+            [sorted(ways) for ways in level._sets] for level in h.levels
+        ],
+        "counters": [(level.hits, level.misses) for level in h.levels],
+        "dram": h.dram_accesses,
+        "tlb": (machine.tlb.hits, machine.tlb.misses),
+    }
+
+
+def _grid_replays(workload, allocator, num_ops):
+    outs = []
+    for impl, intern in GRID:
+        with _cache_impl(impl):
+            alloc = allocator(intern_traces=intern)
+            result = run_workload(
+                alloc, workload.ops(seed=7, num_ops=num_ops), name=workload.name
+            )
+        outs.append((impl, intern, result, alloc))
+    return outs
+
+
+def _assert_grid(workload, allocator, num_ops):
+    outs = _grid_replays(workload, allocator, num_ops)
+    base = _observable(outs[0][2])
+    base_state = _hierarchy_state(outs[0][3].machine)
+    for impl, intern, result, alloc in outs[1:]:
+        tag = f"impl={impl or 'o1'} intern={intern}"
+        assert _observable(result) == base, tag
+        assert _hierarchy_state(alloc.machine) == base_state, tag
+    # The default config must actually exercise the fast machinery.
+    fast = outs[0][3]
+    assert fast.machine.hierarchy._fast_demand
+    assert fast.machine.interner is not None
+    assert fast.machine.interner.stats.hits > 0
+    reference = outs[2][3]
+    assert not reference.machine.hierarchy._fast
+    return outs
+
+
+class TestSingleThreaded:
+    @pytest.mark.parametrize("name", ["tp_small", "gauss_free", "antagonist"])
+    def test_micro(self, name):
+        _assert_grid(MICROBENCHMARKS[name], make_baseline, 400)
+
+    @pytest.mark.parametrize("name", ["400.perlbench", "masstree.same"])
+    @pytest.mark.parametrize("allocator", [make_baseline, make_mallacc])
+    def test_macro(self, name, allocator):
+        _assert_grid(MACRO_WORKLOADS[name], allocator, 250)
+
+    def test_adversarial(self):
+        _assert_grid(class_thrash(), make_mallacc, 300)
+
+    def test_xalanc_heavy_app_traffic(self):
+        """xalancbmk has the largest per-op app-line counts: the strongest
+        exercise of the batched touch_lines walk vs the per-line loop."""
+        _assert_grid(MACRO_WORKLOADS["483.xalancbmk"], make_baseline, 150)
+
+
+class TestTouchLinesStrides:
+    """The batched walk special-cases whole-line strides into a range();
+    sub-line and non-multiple strides take the listcomp.  All must match the
+    reference hierarchy line-for-line."""
+
+    @pytest.mark.parametrize("stride", [8, 64, 96, 128, 4096])
+    def test_stride_equivalence(self, stride):
+        from repro.sim.hierarchy import CacheHierarchy
+
+        with _cache_impl(None):
+            fast = CacheHierarchy()
+        with _cache_impl("reference"):
+            ref = CacheHierarchy()
+        for base in (0, 1 << 20, 12345):
+            fast.touch_lines(base, 300, stride=stride)
+            ref.touch_lines(base, 300, stride=stride)
+        assert [
+            [sorted(w) for w in level._sets] for level in fast.levels
+        ] == [[sorted(w) for w in level._sets] for level in ref.levels]
+        assert [(l.hits, l.misses) for l in fast.levels] == [
+            (l.hits, l.misses) for l in ref.levels
+        ]
+        assert fast.dram_accesses == ref.dram_accesses
+
+
+def _mt_observable(result):
+    return {
+        "cycles": [r.cycles for r in result.records],
+        "paths": [r.path.value for r in result.records],
+        "per_thread": dict(result.per_thread_cycles),
+        "contention": result.contention_cycles,
+        "coherence": result.coherence_transfers,
+        "trace_cache": (result.trace_cache_hits, result.trace_cache_misses),
+    }
+
+
+class TestMultithreaded:
+    @pytest.mark.parametrize("coherent", [False, True])
+    def test_bit_identical(self, coherent):
+        workload = balanced_churn(4)
+        outs = []
+        for impl, intern in GRID:
+            with _cache_impl(impl):
+                mt = MultiThreadAllocator(4, coherent=coherent, intern_traces=intern)
+                result = run_multithreaded(
+                    mt, workload.ops(seed=7, num_ops=500), name=workload.name
+                )
+            outs.append(_mt_observable(result))
+        assert all(o == outs[0] for o in outs[1:])
+
+
+class TestSweep:
+    def test_sweep_cache_sizes(self):
+        workload = MICROBENCHMARKS["tp_small"]
+        curves = []
+        for impl, intern in GRID:
+            with _cache_impl(impl):
+                env_intern = os.environ.get("REPRO_TRACE_INTERN")
+                os.environ["REPRO_TRACE_INTERN"] = "1" if intern else "0"
+                try:
+                    r = sweep_cache_sizes(
+                        workload, sizes=(4, 16), num_ops=200, seed=3
+                    )
+                finally:
+                    if env_intern is None:
+                        os.environ.pop("REPRO_TRACE_INTERN", None)
+                    else:
+                        os.environ["REPRO_TRACE_INTERN"] = env_intern
+            curves.append((r.malloc_speedups, r.allocator_speedups, r.limit_speedup))
+        assert all(c == curves[0] for c in curves[1:])
+
+
+class TestHashRandomization:
+    def test_grid_immune_to_hash_seed(self):
+        """Dict-ordered structures (per-set LRU dicts, intern tables,
+        fingerprint maps) key exclusively on integers and value-hashed
+        tuples, so results are identical under any PYTHONHASHSEED — in both
+        the fast and the reference configuration."""
+        code = (
+            "import json\n"
+            "from repro.harness.experiments import compare_workload, "
+            "summarize_comparison\n"
+            "from repro.workloads import MACRO_WORKLOADS\n"
+            "c = compare_workload(MACRO_WORKLOADS['400.perlbench'],"
+            " num_ops=150, seed=3)\n"
+            "print(json.dumps(summarize_comparison(c), sort_keys=True))\n"
+        )
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        outs = set()
+        for hashseed in ("0", "1", "271828"):
+            for overrides in (
+                {},
+                {"REPRO_CACHE_IMPL": "reference", "REPRO_TRACE_INTERN": "0"},
+            ):
+                env = {
+                    k: v
+                    for k, v in os.environ.items()
+                    if k not in ("REPRO_CACHE_IMPL", "REPRO_TRACE_INTERN")
+                }
+                env.update(
+                    {"PYTHONHASHSEED": hashseed, "PYTHONPATH": src_dir, **overrides}
+                )
+                proc = subprocess.run(
+                    [sys.executable, "-c", code],
+                    capture_output=True, text=True, env=env, check=True,
+                )
+                outs.add(proc.stdout.strip())
+        assert len(outs) == 1
+
+
+class TestValidateMode:
+    def test_validate_mode_clean_on_real_workload(self):
+        """REPRO_INTERN_VALIDATE=1 rebuilds every intern hit and asserts
+        fingerprint equality; a full macro replay must come through clean
+        (every structural decision is tokenized)."""
+        saved = os.environ.get("REPRO_INTERN_VALIDATE")
+        os.environ["REPRO_INTERN_VALIDATE"] = "1"
+        try:
+            alloc = make_baseline(intern_traces=True)
+            run_workload(
+                alloc,
+                MACRO_WORKLOADS["400.perlbench"].ops(seed=7, num_ops=250),
+                name="validate",
+            )
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_INTERN_VALIDATE", None)
+            else:
+                os.environ["REPRO_INTERN_VALIDATE"] = saved
+        assert alloc.machine.interner.stats.validations > 0

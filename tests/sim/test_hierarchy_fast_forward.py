@@ -1,0 +1,178 @@
+"""Inclusive back-invalidation + fast-path/reference equivalence tests.
+
+Covers the two hierarchy-level guarantees this round of optimizations rests
+on:
+
+* **Inclusion** (the satellite bug fix): an L3 eviction removes the victim
+  line from L1 and L2 as well — on the generic probe chain, the inlined
+  plain fast path, and the reference cache implementation alike.
+* **Equivalence**: the inlined dict-walk (``_access_fast_plain``), the
+  hooked variant, the generic chain, and the O(assoc) reference caches all
+  produce identical latencies, line movement, and counters on identical
+  access streams.
+"""
+
+import os
+import random
+from contextlib import contextmanager
+
+import pytest
+
+from repro.sim.cache import CacheConfig, ReferenceSetAssociativeCache, SetAssociativeCache
+from repro.sim.hierarchy import CacheHierarchy, HierarchyConfig
+
+
+@contextmanager
+def _cache_impl(impl):
+    saved = os.environ.get("REPRO_CACHE_IMPL")
+    if impl is None:
+        os.environ.pop("REPRO_CACHE_IMPL", None)
+    else:
+        os.environ["REPRO_CACHE_IMPL"] = impl
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_IMPL", None)
+        else:
+            os.environ["REPRO_CACHE_IMPL"] = saved
+
+
+#: One set per level; inner levels roomy (32 ways), L3 tiny (4 ways), so an
+#: L3 eviction happens while the victim still fits comfortably inside.
+TINY = HierarchyConfig(
+    l1=CacheConfig("L1", 32 * 64, 32, latency=4),
+    l2=CacheConfig("L2", 32 * 64, 32, latency=12),
+    l3=CacheConfig("L3", 4 * 64, 4, latency=34),
+    dram_latency=200,
+)
+
+
+class TestInclusiveBackInvalidation:
+    @pytest.mark.parametrize("impl", [None, "reference"])
+    def test_l3_eviction_clears_inner_levels(self, impl):
+        with _cache_impl(impl):
+            h = CacheHierarchy(TINY)
+        h.access(0x0)
+        assert h.l1.contains(0x0) and h.l2.contains(0x0) and h.l3.contains(0x0)
+        # Fill the single 4-way L3 set past capacity: line 0 is the LRU
+        # victim even though L1/L2 (32 ways) still have room for it.
+        for i in range(1, 5):
+            h.access(i * 64)
+        assert not h.l3.contains(0x0)
+        assert not h.l2.contains(0x0), "L3 eviction must back-invalidate L2"
+        assert not h.l1.contains(0x0), "L3 eviction must back-invalidate L1"
+
+    def test_generic_chain_matches_fast_path(self):
+        """The non-fast access() chain (exercised via a mixed-line-size
+        geometry gate) performs the same back-invalidation."""
+        with _cache_impl(None):
+            h = CacheHierarchy(TINY)
+        # Force the generic chain while keeping the same O(1) caches.
+        h._fast = False
+        h._fast_demand = False
+        h.demand_access = h.access
+        h.access(0x0)
+        for i in range(1, 5):
+            h.access(i * 64)
+        assert not h.l3.contains(0x0)
+        assert not h.l2.contains(0x0)
+        assert not h.l1.contains(0x0)
+
+    def test_touch_lines_batch_respects_inclusion(self):
+        with _cache_impl(None):
+            h = CacheHierarchy(TINY)
+        assert h._fast_demand
+        h.touch_lines(0, 5, stride=64)  # batched walk evicts line 0 from L3
+        assert not h.l3.contains(0x0)
+        assert not h.l2.contains(0x0)
+        assert not h.l1.contains(0x0)
+
+    def test_no_resident_inner_line_is_missing_from_l3(self):
+        """Global inclusion invariant after a random mixed stream."""
+        with _cache_impl(None):
+            h = CacheHierarchy()
+        rng = random.Random(11)
+        for _ in range(4000):
+            h.access(rng.randrange(0, 1 << 24) & ~0x7)
+        h.touch_lines(1 << 22, 500, stride=64)
+        for level in (h.l1, h.l2):
+            for ways in level._sets:
+                for line in ways:
+                    assert h.l3.contains(line << 6), (
+                        f"line {line:#x} resident in {level.config.name} "
+                        "but not in the inclusive L3"
+                    )
+
+
+def _stream(seed, n=6000):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.6:
+            out.append(rng.randrange(0, 1 << 16))  # hot region
+        elif r < 0.9:
+            out.append(rng.randrange(0, 1 << 21))  # warm
+        else:
+            out.append(rng.randrange(0, 1 << 26))  # cold
+    return out
+
+
+def _state(h):
+    return {
+        "lines": [[sorted(w) for w in level._sets] for level in h.levels],
+        "counters": [(level.hits, level.misses) for level in h.levels],
+        "dram": h.dram_accesses,
+    }
+
+
+class TestFastPathEquivalence:
+    def test_cache_classes_selected_by_env(self):
+        with _cache_impl(None):
+            assert type(CacheHierarchy().l1) is SetAssociativeCache
+        with _cache_impl("reference"):
+            h = CacheHierarchy()
+            assert type(h.l1) is ReferenceSetAssociativeCache
+            assert not h._fast
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_random_stream_equivalence(self, seed):
+        with _cache_impl(None):
+            fast = CacheHierarchy()
+        with _cache_impl("reference"):
+            ref = CacheHierarchy()
+        assert fast._fast_demand and not ref._fast
+        lats_fast = [fast.demand_access(a) for a in _stream(seed)]
+        lats_ref = [ref.demand_access(a) for a in _stream(seed)]
+        assert lats_fast == lats_ref
+        assert _state(fast) == _state(ref)
+
+    def test_access_and_demand_access_agree(self):
+        """access() (hook-dispatched) and demand_access (pre-dispatched)
+        run the identical inlined walk on a plain fast hierarchy."""
+        a = CacheHierarchy()
+        b = CacheHierarchy()
+        stream = _stream(3, n=2000)
+        assert [a.access(addr) for addr in stream] == [
+            b.demand_access(addr) for addr in stream
+        ]
+        assert _state(a) == _state(b)
+
+    def test_antagonist_and_flush_hit_fast_state(self):
+        """Mutations through the cache objects (antagonize, flush) are
+        visible to the inlined walk — they share the same set dicts."""
+        h = CacheHierarchy()
+        # Two lines in one L1 set (line stride = 64 sets * 64 B), the second
+        # refreshed, so the first is the less-used half antagonize evicts.
+        h.demand_access(0x1000)
+        h.demand_access(0x2000)
+        h.demand_access(0x2000)
+        h.antagonize()
+        assert not h.l1.contains(0x1000)
+        # The two lines sit in different L2 sets (one line each), so the L2
+        # half-eviction removes neither; the refetch is an L2 hit.
+        lat = h.demand_access(0x1000)
+        assert lat == h.config.l2.latency
+        h.flush_all()
+        assert h.demand_access(0x1000) == h.config.dram_latency

@@ -160,3 +160,28 @@ class TestCoherentAllocator:
         for view in mt.threads:
             view.malloc_cache.check_invariants(mt.machine.memory)
         mt.check_conservation()
+
+
+class TestInclusiveBroadcast:
+    def test_shared_l3_eviction_invalidates_every_core(self, duo):
+        """The shared L3 is inclusive of *all* cores' private levels: its
+        eviction must be broadcast, not applied only to the evicting core."""
+        a, b, _ = duo
+        stride = a.l3._num_sets * 64  # same-L3-set aliasing stride
+        a.access(0x0)
+        assert a.l1.contains(0x0) and a.l2.contains(0x0)
+        # Core B streams enough aliasing lines through the shared set to
+        # evict core A's line from L3.
+        for i in range(1, a.l3._assoc + 1):
+            b.access(i * stride)
+        assert not a.l3.contains(0x0)
+        assert not a.l2.contains(0x0), "broadcast must reach core A's L2"
+        assert not a.l1.contains(0x0), "broadcast must reach core A's L1"
+
+    def test_coherent_hierarchy_never_uses_plain_inlined_walk(self, duo):
+        """CoherentHierarchy must keep its access() wrapper (directory
+        coherence) and its broadcast hook: the plain fully-inlined walk
+        would silently skip both."""
+        a, _, _ = duo
+        assert not a._fast_demand
+        assert a.demand_access.__func__ is CoherentHierarchy.access

@@ -212,3 +212,41 @@ class TestROB:
         trace = tb.build()
         # ALU #2 onward must wait for the miss to retire.
         assert tiny.run(trace).cycles >= 200
+
+
+class TestSharedResults:
+    """Memoized TimingResults are shared between trace-cache hits; the
+    per-uop time vectors are tuples so no caller can corrupt a later hit."""
+
+    def _trace(self):
+        tb = TraceBuilder()
+        a = tb.alu()
+        tb.load(0x1000, latency=12, deps=(a,))
+        tb.store(0x2000, deps=(a,))
+        return tb.build()
+
+    def test_times_are_tuples(self):
+        r = model().run(self._trace())
+        assert isinstance(r.issue_times, tuple)
+        assert isinstance(r.ready_times, tuple)
+        with pytest.raises(TypeError):
+            r.issue_times[0] = 99
+
+    def test_unmemoized_schedule_also_returns_tuples(self):
+        r = model(trace_cache_entries=0)._schedule(self._trace())
+        assert isinstance(r.issue_times, tuple)
+        assert isinstance(r.ready_times, tuple)
+
+    def test_equal_fingerprints_share_one_result_object(self):
+        tm = model()
+        r1 = tm.run(self._trace())
+        r2 = tm.run(self._trace())  # separately built, same fingerprint
+        assert r1 is r2
+        assert tm.cache_stats.hits == 1
+
+    def test_default_result_vectors_empty_tuples(self):
+        from repro.sim.timing import TimingResult
+
+        r = TimingResult(cycles=2)
+        assert r.issue_times == () and r.ready_times == ()
+        assert r.num_uops == 0

@@ -60,6 +60,23 @@ class TestCli:
         out = run_cli(capsys, "trace-run", str(trace), "--entries", "16")
         assert "malloc speedup" in out
 
+    def test_profile(self, capsys):
+        out = run_cli(capsys, "profile", "tp_small", "--ops", "400")
+        assert "replay" in out and "schedule" in out
+        assert "intern_hit_rate" in out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        out = run_cli(capsys, "profile", "tp_small", "--ops", "300", "--json")
+        payload = json.loads(out)
+        assert set(payload["stages"]) >= {"replay", "emission", "build", "schedule"}
+        assert payload["counters"]["calls"] > 0
+
+    def test_run_no_intern(self, capsys):
+        out = run_cli(capsys, "run", "tp_small", "--ops", "300", "--no-intern")
+        assert "disabled" in out
+
     def test_report(self, capsys, tmp_path):
         out_file = tmp_path / "results.md"
         out = run_cli(capsys, "report", "--out", str(out_file), "--ops", "400")
