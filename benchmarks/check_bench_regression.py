@@ -1,0 +1,78 @@
+"""CI bench-regression guard.
+
+Compares freshly generated ``BENCH_*.json`` artifacts at the repository
+root against the committed floors in ``benchmarks/bench_floors.json`` and
+exits non-zero when any benchmark's wall-clock ``speedup`` has regressed
+by more than 20% (``fresh < 0.8 * floor``).
+
+Artifacts are skipped (reported, not gated) when:
+
+* no fresh copy exists — the corresponding smoke bench didn't run;
+* the fresh payload carries ``"speedup_asserted": false`` — the bench
+  itself decided its wall-clock ratio is unreliable in this environment
+  (single-CPU runner, smoke-scale sampling protocol, ...).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--root REPO_ROOT]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: A fresh speedup below this fraction of the committed floor fails CI.
+TOLERANCE = 0.8
+
+
+def check(root: Path) -> int:
+    floors_path = root / "benchmarks" / "bench_floors.json"
+    floors = json.loads(floors_path.read_text())["floors"]
+    failures = []
+    for name, floor in sorted(floors.items()):
+        path = root / name
+        if not path.exists():
+            print(f"SKIP {name}: no fresh artifact")
+            continue
+        payload = json.loads(path.read_text())
+        speedup = payload.get("speedup")
+        if speedup is None:
+            failures.append(f"{name}: artifact has no 'speedup' field")
+            continue
+        gate = TOLERANCE * floor
+        if payload.get("speedup_asserted") is False:
+            print(f"SKIP {name}: speedup {speedup:.2f}x not asserted by the "
+                  f"bench (cpus={payload.get('cpus')}, "
+                  f"ops={payload.get('ops_per_workload')})")
+            continue
+        verdict = "ok" if speedup >= gate else "REGRESSION"
+        print(f"{verdict:<10} {name}: {speedup:.2f}x "
+              f"(floor {floor:.2f}x, gate {gate:.2f}x)")
+        if speedup < gate:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x is >20% below the "
+                f"committed floor {floor:.2f}x (gate {gate:.2f}x)"
+            )
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root holding the BENCH_*.json artifacts",
+    )
+    args = parser.parse_args()
+    return check(args.root)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

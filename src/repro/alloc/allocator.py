@@ -21,8 +21,9 @@ from repro.alloc.constants import K_PAGE_SHIFT, AllocatorConfig
 from repro.alloc.context import Emitter, Machine
 from repro.alloc.page_heap import PageHeap
 from repro.alloc.sampler import Sampler
-from repro.alloc.size_classes import SizeClassTable
+from repro.alloc.size_classes import SizeClassTable, class_index
 from repro.alloc.thread_cache import ThreadCache
+from repro.sim.memory import NULL
 from repro.sim.trace_intern import TraceInterner
 from repro.sim.uop import Tag, Trace
 
@@ -307,6 +308,135 @@ class TCMalloc:
         self._emit_epilogue(em)
         return self._finish(em, "free", size, cl, path, ptr, clock0, sampled=False)
 
+    # ------------------------------------------------- functional fast-forward
+    def fast_forward_malloc(self, size: int) -> tuple[int, int, str] | None:
+        """Flat skip-mode malloc: the thread-cache fast path fused into one
+        frame, with state transitions identical to running :meth:`malloc`
+        under a :class:`~repro.alloc.context.FunctionalEmitter` — same
+        memory words, free-list bookkeeping, sampler countdown, and branch
+        predictor sites in the same order, none of the per-component calls.
+
+        Returns ``(ptr, size_class, path_value)``; returns ``None`` when any
+        slow-path condition holds (large request, sampling trigger, empty
+        list) so the caller can fall back to :meth:`malloc` — every check
+        precedes the first mutation, so the fallback observes untouched
+        state.  Only meaningful during a skip stretch: nothing is priced and
+        no cache/TLB state moves.
+        """
+        if size <= 0 or size > self.config.max_size:
+            return None
+        sampler = self.sampler
+        sampling = self.config.sampling_enabled
+        if sampling:
+            remaining = sampler.bytes_until_sample - size
+            if remaining <= 0:
+                return None
+        cl = self.table.class_array[class_index(size)]
+        flist = self.thread_cache.lists[cl]
+        if flist.length == 0:
+            return None
+        machine = self.machine
+        mem = machine.memory
+        predict = machine.predictor.predict
+        if sampling:
+            sampler.bytes_until_sample = remaining
+            predict("sample_threshold", False)
+            mem.write_word(sampler.counter_addr, remaining)
+        predict("malloc_is_small", True)
+        predict("tc_list_empty", False)
+        # The Figure 7 pop, fused.
+        header = flist.header_addr
+        head = mem.read_word(header)
+        next_ptr = mem.read_word(head)
+        mem.write_word(header, next_ptr)
+        flist._contents.discard(head)
+        length = flist.length - 1
+        flist.length = length
+        if length < flist.low_water:
+            flist.low_water = length
+        # Length word, then the cache-size field (written pre-decrement,
+        # exactly as ThreadCache.allocate orders it).
+        mem.write_word(header + 8, length)
+        tc = self.thread_cache
+        mem.write_word(tc.lists[0].header_addr + 16, max(tc.size_bytes, 0))
+        tc.size_bytes -= self.table.class_to_size[cl]
+        live = self.live
+        if head in live:
+            raise AssertionError(f"allocator returned live pointer {head:#x}")
+        live[head] = (size, cl)
+        return head, cl, Path.FAST.value
+
+    def fast_forward_free(
+        self, ptr: int, sized_hint: int | None = None
+    ) -> tuple[int, str] | None:
+        """Flat skip-mode free (sized and non-sized collapse functionally;
+        the hint only matters to the Mallacc override, where sized frees
+        run the size lookup through the malloc cache).  Returns
+        ``(size_class, path_value)`` or ``None`` to fall back — see
+        :meth:`fast_forward_malloc` for the contract."""
+        entry = self.live.get(ptr)
+        if entry is None:
+            raise ValueError(f"free of unallocated pointer {ptr:#x}")
+        cl = entry[1]
+        if cl == 0:
+            return None  # large span: pagemap + span merge, full path
+        tc = self.thread_cache
+        flist = tc.lists[cl]
+        if flist.length >= flist.max_length:
+            return None  # push would overflow: ListTooLong release
+        alloc_size = self.table.class_to_size[cl]
+        if tc.size_bytes + alloc_size >= self.config.max_thread_cache_size:
+            return None  # scavenge
+        del self.live[ptr]
+        mem = self.machine.memory
+        contents = flist._contents
+        if ptr in contents:
+            raise ValueError(f"double free of {ptr:#x}")
+        # The Figure 7 push, fused.
+        header = flist.header_addr
+        old_head = mem.read_word(header)
+        mem.write_word(header, ptr)
+        mem.write_word(ptr, old_head)
+        contents.add(ptr)
+        length = flist.length + 1
+        flist.length = length
+        mem.write_word(header + 8, length)
+        tc.size_bytes += alloc_size
+        self.machine.predictor.predict("tc_list_too_long", False)
+        return cl, Path.FREE_FAST.value
+
+    def skip_warm_lines(self, size_classes) -> list[int]:
+        """Addresses an exact replay keeps hot across a fast-forwarded
+        stretch: the free-list header and current head node of each recently
+        active class (oldest first), the thread-cache footprint word, and
+        the sampling countdown.  The sampled runner re-touches these after
+        replaying deferred application traffic, restoring the metadata /
+        app-line LRU interleaving a full replay would have left behind —
+        without it the bulk app window evicts allocator metadata that every
+        interleaved call would have refreshed."""
+        mem = self.machine.memory
+        lists = self.thread_cache.lists
+        addrs: list[int] = []
+        for cl in size_classes:
+            flist = lists[cl]
+            header = flist.header_addr
+            addrs.append(header)
+            head = mem.read_word(header)
+            if head != NULL:
+                addrs.append(head)
+        addrs.append(lists[0].header_addr + 16)
+        counter = self._sampling_counter_addr()
+        if counter is not None:
+            addrs.append(counter)
+        return addrs
+
+    def _sampling_counter_addr(self) -> int | None:
+        """Memory address of the sampling countdown, if the fast path keeps
+        one (Mallacc moves it into a PMU register and returns ``None``)."""
+        if self.config.sampling_enabled:
+            return self.sampler.counter_addr
+        return None
+
     # ------------------------------------------------------------------ hooks
     def _emit_sampling_check(self, em: Emitter, size: int) -> bool:
         """Fast-path sampling work; Mallacc replaces this with a PMU count."""
@@ -327,10 +457,14 @@ class TCMalloc:
         """Call overhead: saving registers, frame setup (~¼ of the fast
         path's residual cycles per Section 3.3).  These issue in parallel
         with the useful work — they consume slots, not latency."""
+        if em.functional:
+            return  # alu() is a no-op on every functional emitter
         for _ in range(6):
             em.alu(tag=Tag.CALL_OVERHEAD)
 
     def _emit_epilogue(self, em: Emitter) -> None:
+        if em.functional:
+            return
         for _ in range(5):
             em.alu(tag=Tag.CALL_OVERHEAD)
 
@@ -345,6 +479,27 @@ class TCMalloc:
         clock0: int,
         sampled: bool,
     ) -> CallRecord:
+        if em.functional:
+            # Functional fast-forward: allocator state advanced, nothing is
+            # priced.  The record keeps path/size-class statistics flowing
+            # (interval features, path counters) at zero cycles; the clock
+            # moves only through the runner's application gaps, so detailed
+            # intervals downstream see a consistently-shifted timebase.
+            record = CallRecord(
+                kind=kind,
+                size=size,
+                size_class=cl,
+                path=path,
+                cycles=0,
+                num_uops=0,
+                ptr=ptr,
+                clock=clock0,
+                sampled=sampled,
+            )
+            if self.keep_records:
+                self.records.append(record)
+            self._post_schedule(None, None)
+            return record
         site = _INTERN_SITES.get((kind, path))
         prof = self.machine.profiler
         ablated: dict[str, int] = {}
@@ -383,8 +538,9 @@ class TCMalloc:
         self._post_schedule(trace, result)
         return record
 
-    def _post_schedule(self, trace: Trace, result) -> None:
-        """Hook for subclasses (Mallacc resolves prefetch arrival here)."""
+    def _post_schedule(self, trace: Trace | None, result) -> None:
+        """Hook for subclasses (Mallacc resolves prefetch arrival here).
+        Called with ``(None, None)`` after a functional fast-forward step."""
 
     # ------------------------------------------------------------------ checks
     def check_conservation(self) -> None:

@@ -18,7 +18,7 @@ from repro.sim.memory import SimulatedMemory, VirtualAddressSpace
 from repro.sim.timing import CoreConfig, TimingModel, TimingResult
 from repro.sim.tlb import TLB
 from repro.sim.trace_intern import TraceInterner, interner_from_env
-from repro.sim.uop import Tag, Trace, TraceBuilder
+from repro.sim.uop import NULL_TRACE_BUILDER, Tag, Trace, TraceBuilder
 
 if TYPE_CHECKING:
     from repro.harness.profile import HotPathProfiler
@@ -42,9 +42,22 @@ class Machine:
     works — normally a :class:`repro.harness.profile.HotPathProfiler`."""
     clock: int = 0
     """Global cycle count, advanced by allocator calls and application gaps."""
+    warming: str | None = None
+    """Functional fast-forward mode for the *next* allocator calls: ``None``
+    (default) emits and prices traces as always; ``"warm"`` advances
+    allocator *and* cache/TLB/predictor state without emitting uops;
+    ``"skip"`` advances only allocator/predictor state (cache hierarchy and
+    TLB are left stale, to be re-warmed by the sampling slack).  Set by the
+    sampled runner around unsampled intervals — exact replays never touch
+    it, so the detailed path is byte-identical with this field present."""
 
-    def new_emitter(self) -> "Emitter":
-        return Emitter(self)
+    def new_emitter(self) -> "Emitter | FunctionalEmitter":
+        warming = self.warming
+        if warming is None:
+            return Emitter(self)
+        if warming == "warm":
+            return WarmingEmitter(self)
+        return FunctionalEmitter(self)
 
     def advance(self, cycles: int) -> None:
         if cycles < 0:
@@ -60,6 +73,18 @@ class Emitter:
     charges TLB penalties, and appends a micro-op carrying the resulting
     latency.  Methods return the uop index for dependence threading.
     """
+
+    functional = False
+    """Class-level flag the allocator's ``_finish`` branches on: a detailed
+    emitter builds and schedules, a :class:`FunctionalEmitter` does not."""
+
+    touches_hierarchy = True
+    """Whether memory-facing methods move cache/TLB state.  Hot emit helpers
+    (size-class lookup, free-list ops, the sampling countdown) check
+    ``not em.touches_hierarchy`` to take a fused functional shortcut: same
+    memory/list/predictor state transitions, none of the per-uop ceremony.
+    Only :class:`FunctionalEmitter` (skip mode) clears it — detailed and
+    warming emitters must see every access."""
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
@@ -143,3 +168,123 @@ class Emitter:
 
     def schedule(self) -> TimingResult:
         return self.machine.timing.run(self.build())
+
+
+class FunctionalEmitter:
+    """Functional fast-forward (skip mode): the same per-call API as
+    :class:`Emitter`, but nothing is emitted, priced, or cached.
+
+    Allocator code runs unchanged — real loads and stores against simulated
+    memory, so free lists, the thread cache, the malloc cache, and the
+    sampler countdown all advance exactly as in a detailed call.  The cache
+    hierarchy and TLB are *not* touched (:data:`~repro.sim.sampling
+    .MODE_SKIP`): microarchitectural state goes intentionally stale and is
+    re-warmed by the sampling slack (:class:`WarmingEmitter`) before the
+    next detailed interval.  The branch predictor *is* trained (one dict
+    update per branch — too cheap to be worth drifting).
+
+    Uop indices are all 0: dependence threading only shapes traces, and
+    there is no trace.  ``build``/``schedule`` raise — a functional step has
+    no timing identity, and ``TCMalloc._finish`` short-circuits before
+    reaching them.  ``em.tb`` is a shared :data:`~repro.sim.uop
+    .NULL_TRACE_BUILDER` for any code reaching the builder duck-type.
+    """
+
+    functional = True
+    touches_hierarchy = False
+    tb = NULL_TRACE_BUILDER
+
+    __slots__ = ("machine", "_mem_read", "_mem_write", "_predict")
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._mem_read = machine.memory.read_word
+        self._mem_write = machine.memory.write_word
+        self._predict = machine.predictor.predict
+
+    # -- memory ------------------------------------------------------------
+    def load_word(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> tuple[int, int]:
+        return self._mem_read(addr), 0
+
+    def store_word(self, addr: int, value: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        self._mem_write(addr, value)
+        return 0
+
+    def load_table(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        return 0
+
+    # -- computation -------------------------------------------------------
+    def alu(self, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING, latency: int = 1) -> int:
+        return 0
+
+    def branch(self, site: str, taken: bool, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        self._predict(site, taken)
+        return 0
+
+    def note(self, token) -> None:
+        pass
+
+    def fixed(self, latency: int, deps: tuple[int, ...] = (), tag: Tag = Tag.SLOW_PATH) -> int:
+        return 0
+
+    def mallacc(self, latency: int, deps: tuple[int, ...] = ()) -> int:
+        return 0
+
+    def prefetch_line(self, addr: int, deps: tuple[int, ...] = ()) -> tuple[int, int]:
+        # Prices nothing, but must still return *a* latency (Mallacc derives
+        # an absolute ready-time from it).  L1 latency is the natural
+        # nominal value: during a skip stretch the clock only advances
+        # through application gaps, so any small constant keeps prefetches
+        # resolved well before the next detailed interval could observe a
+        # stall.
+        return 0, self.machine.hierarchy.config.l1.latency
+
+    # -- finishing ---------------------------------------------------------
+    def build(self, intern_site: str | None = None) -> Trace:
+        raise RuntimeError("functional fast-forward has no trace to build")
+
+    def schedule(self) -> TimingResult:
+        raise RuntimeError("functional fast-forward has no trace to schedule")
+
+
+class WarmingEmitter(FunctionalEmitter):
+    """Cache-exact functional warming (:data:`~repro.sim.sampling
+    .MODE_WARM`): skip-mode state updates *plus* every cache-hierarchy
+    demand access and TLB walk, latencies discarded.  After a warming
+    stretch, L1/L2/TLB contents are bit-identical to an exact replay of the
+    same ops — this is the SMARTS warmup slack before a detailed interval
+    (and the whole-stream mode under ``cache_warming='always'``)."""
+
+    touches_hierarchy = True
+
+    __slots__ = ("_h_read", "_h_write", "_tlb")
+
+    def __init__(self, machine: Machine) -> None:
+        super().__init__(machine)
+        hierarchy = machine.hierarchy
+        self._h_read = hierarchy.demand_access
+        if hierarchy._fast_demand:
+            self._h_write = hierarchy.demand_access  # inlined walk: same path
+        else:
+            self._h_write = hierarchy._access_write  # preserves write=True
+        self._tlb = machine.tlb.access
+
+    def load_word(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> tuple[int, int]:
+        value = self._mem_read(addr)
+        self._h_read(addr)
+        self._tlb(addr)
+        return value, 0
+
+    def store_word(self, addr: int, value: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        self._mem_write(addr, value)
+        self._h_write(addr)
+        self._tlb(addr)
+        return 0
+
+    def load_table(self, addr: int, deps: tuple[int, ...] = (), tag: Tag = Tag.ADDRESSING) -> int:
+        self._h_read(addr)
+        self._tlb(addr)
+        return 0
+
+    def prefetch_line(self, addr: int, deps: tuple[int, ...] = ()) -> tuple[int, int]:
+        return 0, self.machine.hierarchy.prefetch(addr)

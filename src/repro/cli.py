@@ -59,8 +59,22 @@ def cmd_list(args: argparse.Namespace) -> None:
     print(render_table(["workload", "kind", "description"], rows))
 
 
+def _sampling_config_from_args(args: argparse.Namespace):
+    from repro.sim.sampling import SamplingConfig
+
+    return SamplingConfig(
+        sampler=args.sampler,
+        interval_ops=args.interval_ops,
+        stride=args.stride,
+        target_ci=args.target_ci,
+        seed=args.seed,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> None:
     workload = _workload_or_die(args.workload)
+    if args.sample:
+        return _cmd_run_sampled(args, workload)
     memoize = False if args.no_trace_cache else None
     intern = False if args.no_intern else None
     c = compare_workload(
@@ -93,6 +107,35 @@ def cmd_run(args: argparse.Namespace) -> None:
     print(f"malloc speedup    : {c.malloc_improvement:.1f}%  "
           f"(limit {c.malloc_limit_improvement:.1f}%)")
     print(f"program speedup   : {c.program_speedup:.2f}%")
+
+
+def _cmd_run_sampled(args: argparse.Namespace, workload) -> None:
+    from repro.harness.experiments import compare_workload_sampled
+    from repro.harness.metrics import sampling_summary
+
+    c = compare_workload_sampled(
+        workload,
+        num_ops=args.ops,
+        seed=args.seed,
+        cache_entries=args.entries,
+        sampling=_sampling_config_from_args(args),
+    )
+    plan = c.baseline.plan
+    print(f"workload          : {c.workload}  ({args.ops} ops, seed {args.seed}, "
+          f"SAMPLED {c.baseline.config.sampler})")
+    print(f"intervals         : {len(plan.sampled)}/{plan.num_intervals} detailed "
+          f"x {c.baseline.config.interval_ops} ops"
+          + (f", {c.rounds} rounds" if c.rounds > 1 else ""))
+    s = sampling_summary(c.baseline, c.mallacc)
+    print(f"detail fraction   : {100 * s['detail_fraction']:.1f}% of calls "
+          f"({s['detailed_calls']:.0f} detailed, {s['warming_calls']:.0f} warmed)")
+    for label, metric in (
+        ("allocator speedup", "allocator_improvement"),
+        ("malloc speedup", "malloc_improvement"),
+        ("program speedup", "program_speedup"),
+    ):
+        point, lo, hi = c.estimate(metric)
+        print(f"{label:<18}: {point:.2f}%  (95% CI [{lo:.2f}, {hi:.2f}])")
 
 
 def cmd_sweep(args: argparse.Namespace) -> None:
@@ -186,7 +229,17 @@ def cmd_matrix(args: argparse.Namespace) -> None:
     for name in names:
         _workload_or_die(name)
     sizes = tuple(int(s) for s in args.sizes.split(","))
-    cells = build_matrix(names, cache_sizes=sizes, num_ops=args.ops, base_seed=args.seed)
+    cells = build_matrix(
+        names,
+        cache_sizes=sizes,
+        num_ops=args.ops,
+        base_seed=args.seed,
+        sampled=args.sample,
+        interval_ops=args.interval_ops,
+        stride=args.stride,
+        sampler=args.sampler,
+        target_ci=args.target_ci,
+    )
 
     def progress(event: dict) -> None:
         if not args.quiet:
@@ -251,8 +304,38 @@ def cmd_profile(args: argparse.Namespace) -> None:
 def cmd_report(args: argparse.Namespace) -> None:
     from repro.harness.report import generate_report
 
-    generate_report(args.out, ops=args.ops, seed=args.seed)
-    print(f"report written to {args.out}")
+    sampling = _sampling_config_from_args(args) if args.sample else None
+    generate_report(args.out, ops=args.ops, seed=args.seed, sampling=sampling)
+    mode = "sampled macro tables" if sampling else "exact"
+    print(f"report written to {args.out} ({mode})")
+
+
+def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample", action="store_true",
+        help="use the interval-sampling engine: detailed simulation for "
+             "sampled intervals, functional fast-forward elsewhere, "
+             "bootstrap CIs on every reported metric",
+    )
+    parser.add_argument(
+        "--interval-ops", type=int, default=200,
+        help="measured ops per sampling interval (default 200)",
+    )
+    parser.add_argument(
+        "--stride", type=int, default=16,
+        help="systematic sampler: simulate every stride-th interval in "
+             "detail (default 16)",
+    )
+    parser.add_argument(
+        "--sampler", choices=("systematic", "phase"), default="systematic",
+        help="interval selection: SMARTS-style systematic or SimPoint-style "
+             "phase clustering",
+    )
+    parser.add_argument(
+        "--target-ci", type=float, default=None,
+        help="error budget: densify the plan until the program-speedup CI "
+             "half-width is at most this many percentage points (e.g. 1)",
+    )
 
 
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
@@ -296,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable emission-template interning (debugging; results are "
              "bit-identical either way, just slower)",
     )
+    _add_sampling_args(run)
     run.set_defaults(fn=cmd_run)
 
     sweep = sub.add_parser("sweep", help="malloc-cache size sweep (Figure 17)")
@@ -320,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--out", default=None, help="write figure/table JSON here")
     matrix.add_argument("--quiet", action="store_true",
                         help="suppress the structured progress stream on stderr")
+    _add_sampling_args(matrix)
     _add_parallel_args(matrix)
     matrix.set_defaults(fn=cmd_matrix)
 
@@ -369,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", default="results.md")
     rep.add_argument("--ops", type=int, default=2000)
     rep.add_argument("--seed", type=int, default=1)
+    _add_sampling_args(rep)
     rep.set_defaults(fn=cmd_report)
 
     return parser

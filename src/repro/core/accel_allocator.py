@@ -26,11 +26,11 @@ ever diverges.
 
 from __future__ import annotations
 
-from repro.alloc.allocator import TCMalloc
+from repro.alloc.allocator import Path, TCMalloc
 from repro.alloc.constants import AllocatorConfig
 from repro.alloc.context import Emitter, Machine
 from repro.alloc.freelist import FreeList, PopResult
-from repro.alloc.size_classes import LookupResult
+from repro.alloc.size_classes import LookupResult, class_index
 from repro.core.instructions import MallaccISA
 from repro.core.malloc_cache import MallocCache, MallocCacheConfig
 from repro.core.sampling import SamplingCounter
@@ -133,6 +133,142 @@ class MallaccFastPathMixin:
         """Prefetch fills were applied at emission time; nothing to resolve.
         The pending list is kept for introspection/tests and cleared here."""
         self.isa.pending = []
+
+    # -- functional fast-forward ----------------------------------------------
+    def fast_forward_malloc(self, size: int) -> tuple[int, int, str] | None:
+        """Flat skip-mode malloc for the accelerated fast path: the same
+        :class:`~repro.core.malloc_cache.MallocCache` transitions
+        (szlookup/szupdate, hdpop, nxtprefetch) and predictor sites the
+        generic functional replay performs, fused into one frame.  Falls
+        back (``None``) on large requests, PMU sampling triggers, and empty
+        lists, with no state touched before the first mutation point."""
+        if size <= 0 or size > self.config.max_size:
+            return None
+        pmu = self.pmu
+        sampling = self.config.sampling_enabled
+        if sampling and pmu.accumulated + size >= pmu.threshold:
+            return None
+        cl = self.table.class_array[class_index(size)]
+        flist = self.thread_cache.lists[cl]
+        if flist.length == 0:
+            return None
+        machine = self.machine
+        mem = machine.memory
+        predict = machine.predictor.predict
+        cache = self.isa.cache
+        if sampling:
+            pmu.accumulated += size
+        predict("malloc_is_small", True)
+        # mcszlookup; a miss runs the software lookup and teaches the cache.
+        entry = cache.szlookup(size)
+        predict("mcsz_hit", entry is None)
+        if entry is None:
+            cache.szupdate(size, self.table.class_to_size[cl], cl)
+        predict("tc_list_empty", False)
+        # mchdpop -> pop_cached on a hit, the software Figure 7 pop on a miss.
+        header = flist.header_addr
+        pentry, head, next_ptr, _stall = cache.hdpop(cl, machine.clock)
+        predict("mchd_hit", pentry is None)
+        if pentry is not None:
+            if next_ptr == NULL and flist.length > 1:
+                # Head-only ablation: software still loads the successor.
+                next_ptr = mem.read_word(head)
+            real_head = mem.read_word(header)
+            if real_head != head:
+                raise AssertionError(
+                    f"malloc cache head {head:#x} diverged from list head {real_head:#x}"
+                )
+            if mem.read_word(head) != next_ptr:
+                raise AssertionError("malloc cache next diverged from list")
+            mem.write_word(header, next_ptr)
+        else:
+            head = mem.read_word(header)
+            next_ptr = mem.read_word(head)
+            mem.write_word(header, next_ptr)
+        flist._contents.discard(head)
+        length = flist.length - 1
+        flist.length = length
+        if length < flist.low_water:
+            flist.low_water = length
+        # mcnxtprefetch of the new head.  Functional ready-time matches
+        # FunctionalEmitter.prefetch_line: clock + nominal L1 latency.
+        if next_ptr != NULL:
+            cache.nxtprefetch(
+                cl,
+                next_ptr,
+                mem.read_word(next_ptr),
+                machine.clock + machine.hierarchy.config.l1.latency,
+            )
+        mem.write_word(header + 8, length)
+        tc = self.thread_cache
+        mem.write_word(tc.lists[0].header_addr + 16, max(tc.size_bytes, 0))
+        tc.size_bytes -= self.table.class_to_size[cl]
+        live = self.live
+        if head in live:
+            raise AssertionError(f"allocator returned live pointer {head:#x}")
+        live[head] = (size, cl)
+        return head, cl, Path.FAST.value
+
+    def fast_forward_free(
+        self, ptr: int, sized_hint: int | None = None
+    ) -> tuple[int, str] | None:
+        """Flat skip-mode free routing the push through mchdpush — and, for
+        sized frees, the class lookup through mcszlookup — matching the
+        generic functional replay's malloc-cache transitions."""
+        entry = self.live.get(ptr)
+        if entry is None:
+            raise ValueError(f"free of unallocated pointer {ptr:#x}")
+        cl = entry[1]
+        if cl == 0:
+            return None
+        tc = self.thread_cache
+        flist = tc.lists[cl]
+        if flist.length >= flist.max_length:
+            return None
+        alloc_size = self.table.class_to_size[cl]
+        if tc.size_bytes + alloc_size >= self.config.max_thread_cache_size:
+            return None
+        del self.live[ptr]
+        machine = self.machine
+        mem = machine.memory
+        predict = machine.predictor.predict
+        if sized_hint is not None:
+            # Sized deallocation runs the Figure 5 lookup through the cache
+            # (non-sized frees use the pagemap — no cache traffic).
+            cache = self.isa.cache
+            sentry = cache.szlookup(sized_hint)
+            predict("mcsz_hit", sentry is None)
+            if sentry is None:
+                cache.szupdate(sized_hint, alloc_size, cl)
+            elif sentry.size_class != cl:
+                raise AssertionError("sized free hint maps to wrong class")
+        contents = flist._contents
+        if ptr in contents:
+            raise ValueError(f"double free of {ptr:#x}")
+        header = flist.header_addr
+        hit, old_head, _stall = self.isa.cache.hdpush(cl, ptr, machine.clock)
+        if hit:
+            real_head = mem.read_word(header)
+            if real_head != old_head:
+                raise AssertionError(
+                    f"malloc cache head {old_head:#x} diverged from list head {real_head:#x}"
+                )
+        else:
+            old_head = mem.read_word(header)
+        mem.write_word(header, ptr)
+        mem.write_word(ptr, old_head)
+        contents.add(ptr)
+        length = flist.length + 1
+        flist.length = length
+        mem.write_word(header + 8, length)
+        tc.size_bytes += alloc_size
+        machine.predictor.predict("tc_list_too_long", False)
+        return cl, Path.FREE_FAST.value
+
+    def _sampling_counter_addr(self) -> int | None:
+        """The countdown lives in the PMU register — no memory line to keep
+        warm (Section 4.3)."""
+        return None
 
     # -- events ----------------------------------------------------------------
     def context_switch(self) -> None:

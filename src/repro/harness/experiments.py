@@ -14,13 +14,21 @@ machines, so the only difference is the accelerator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.alloc.allocator import TCMalloc
 from repro.alloc.constants import AllocatorConfig
 from repro.core.accel_allocator import MallaccTCMalloc
 from repro.core.malloc_cache import MallocCacheConfig
-from repro.harness.runner import RunResult, run_workload
+from repro.harness.runner import (
+    RunResult,
+    SampledRunResult,
+    _metric_seed,
+    plan_for_ops,
+    run_workload,
+    run_workload_sampled,
+)
+from repro.sim.sampling import SamplingConfig, bootstrap_metric_ci
 from repro.sim.uop import LIMIT_STUDY_TAGS
 from repro.workloads.base import Workload
 
@@ -185,6 +193,238 @@ def summarize_comparison(c: WorkloadComparison) -> dict[str, float | int]:
             c.baseline.trace_cache_misses + c.mallacc.trace_cache_misses
         ),
     }
+
+
+# ---------------------------------------------------------------------------
+# Sampled comparisons
+# ---------------------------------------------------------------------------
+#: Component order of the paired per-interval tuples fed to the bootstrap.
+_PAIRED_COMPONENTS = (
+    "b_alloc",
+    "b_malloc",
+    "b_limit_alloc",
+    "b_limit_malloc",
+    "m_alloc",
+    "m_malloc",
+)
+
+
+@dataclass
+class SampledComparison:
+    """Results of one workload under baseline and Mallacc, both replayed
+    *sampled* on the **same** interval plan.
+
+    Sharing the plan is what makes the bootstrap *paired*: every resample
+    draws an interval and takes both sides' measurements from it, so
+    interval-to-interval workload variation cancels in the improvement
+    ratios and the CIs reflect only sampling error.  ``app_cycles`` comes
+    from the baseline run and is exact (gaps are replayed in every mode),
+    so program-speedup CIs only inherit the allocator-cycles uncertainty.
+    """
+
+    workload: str
+    baseline: SampledRunResult
+    mallacc: SampledRunResult
+    paper: dict[str, float] = field(default_factory=dict)
+    rounds: int = 1
+    """Comparison-level adaptive refinement rounds (1 = no refinement)."""
+    _cis: dict[str, tuple[float, float, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def _paired_values(self) -> dict[int, tuple[float, ...]]:
+        out: dict[int, tuple[float, ...]] = {}
+        for i in self.baseline.plan.sampled:
+            b = self.baseline.interval_values[i]
+            m = self.mallacc.interval_values[i]
+            out[i] = (
+                b.get("allocator", 0.0),
+                b.get("malloc", 0.0),
+                b.get(f"ablated_allocator:{LIMIT_ABLATION}", 0.0),
+                b.get(f"ablated_malloc:{LIMIT_ABLATION}", 0.0),
+                m.get("allocator", 0.0),
+                m.get("malloc", 0.0),
+            )
+        return out
+
+    def estimate(self, metric: str) -> tuple[float, float, float]:
+        """``(point, ci_lo, ci_hi)`` for a named comparison metric, via the
+        paired stratified bootstrap.  Deterministic: the seed mixes the
+        metric name into the baseline config seed via crc32."""
+        cached = self._cis.get(metric)
+        if cached is not None:
+            return cached
+        app = float(self.baseline.app_cycles)
+        metrics = {
+            "allocator_improvement": lambda t: _pct_improvement(t[0], t[4]),
+            "allocator_limit_improvement": lambda t: _pct_improvement(t[0], t[2]),
+            "malloc_improvement": lambda t: _pct_improvement(t[1], t[5]),
+            "malloc_limit_improvement": lambda t: _pct_improvement(t[1], t[3]),
+            "program_speedup": lambda t: _pct_improvement(t[0] + app, t[4] + app),
+            "allocator_fraction": lambda t: (t[0] / (t[0] + app)) if t[0] + app else 0.0,
+        }
+        if metric not in metrics:
+            raise KeyError(f"unknown comparison metric {metric!r}")
+        cfg = self.baseline.config
+        cached = bootstrap_metric_ci(
+            self.baseline.plan,
+            self._paired_values(),
+            metrics[metric],
+            resamples=cfg.resamples,
+            confidence=cfg.confidence,
+            seed=_metric_seed(cfg.seed, f"paired:{metric}"),
+        )
+        self._cis[metric] = cached
+        return cached
+
+    def ci(self, metric: str) -> tuple[float, float]:
+        return self.estimate(metric)[1:]
+
+    # -- point estimates mirroring WorkloadComparison ------------------------
+    @property
+    def allocator_improvement(self) -> float:
+        return self.estimate("allocator_improvement")[0]
+
+    @property
+    def allocator_limit_improvement(self) -> float:
+        return self.estimate("allocator_limit_improvement")[0]
+
+    @property
+    def malloc_improvement(self) -> float:
+        return self.estimate("malloc_improvement")[0]
+
+    @property
+    def malloc_limit_improvement(self) -> float:
+        return self.estimate("malloc_limit_improvement")[0]
+
+    @property
+    def allocator_fraction(self) -> float:
+        return self.estimate("allocator_fraction")[0]
+
+    @property
+    def program_speedup(self) -> float:
+        return self.estimate("program_speedup")[0]
+
+    @property
+    def program_speedup_ci_halfwidth(self) -> float:
+        """Half-width of the program-speedup CI in percentage points (the
+        comparison-level error-budget criterion)."""
+        _, lo, hi = self.estimate("program_speedup")
+        return (hi - lo) / 2.0
+
+
+def compare_workload_sampled(
+    workload: Workload,
+    num_ops: int | None = None,
+    seed: int = 1,
+    cache_entries: int = 32,
+    config: AllocatorConfig | None = None,
+    cache_config: MallocCacheConfig | None = None,
+    model_app_traffic: bool = True,
+    sampling: SamplingConfig | None = None,
+) -> SampledComparison:
+    """Sampled counterpart of :func:`compare_workload`.
+
+    One plan is built up front (from a baseline-allocator functional probe
+    for the phase sampler) and pinned for both replays, keeping the
+    bootstrap paired.  When ``sampling.target_ci`` is set it is interpreted
+    at the *comparison* level: the plan is densified and both sides re-run
+    until the program-speedup CI half-width is at most ``target_ci``
+    percentage points (or the plan is saturated / ``max_rounds`` reached).
+    Per-run adaptive refinement is disabled — pairing requires both sides
+    to see the same intervals.
+    """
+    ops = list(workload.ops(seed=seed, num_ops=num_ops))
+    cfg = sampling or SamplingConfig()
+
+    def baseline_factory() -> TCMalloc:
+        return make_baseline(config=config)
+
+    def mallacc_factory() -> MallaccTCMalloc:
+        return make_mallacc(
+            cache_entries=cache_entries, config=config, cache_config=cache_config
+        )
+
+    target_ci = cfg.target_ci
+    run_cfg = replace(cfg, target_ci=None)
+    features = None
+    rounds = 0
+    while True:
+        rounds += 1
+        plan, features = plan_for_ops(baseline_factory, ops, run_cfg, features=features)
+        baseline = run_workload_sampled(
+            baseline_factory,
+            ops,
+            config=run_cfg,
+            name=workload.name,
+            model_app_traffic=model_app_traffic,
+            plan=plan,
+        )
+        mallacc = run_workload_sampled(
+            mallacc_factory,
+            ops,
+            config=run_cfg,
+            name=workload.name,
+            model_app_traffic=model_app_traffic,
+            plan=plan,
+        )
+        comparison = SampledComparison(
+            workload=workload.name,
+            baseline=baseline,
+            mallacc=mallacc,
+            paper=dict(workload.paper),
+            rounds=rounds,
+        )
+        if target_ci is None:
+            return comparison
+        if comparison.program_speedup_ci_halfwidth <= target_ci:
+            return comparison
+        denser = run_cfg.escalated()
+        if denser is None or rounds >= cfg.max_rounds:
+            return comparison
+        run_cfg = denser
+
+
+def summarize_sampled_comparison(c: SampledComparison) -> dict:
+    """Scalar payload of one sampled comparison: the same point-estimate
+    keys as :func:`summarize_comparison` (so downstream table code can
+    consume either) plus ``*_ci`` bounds and sampling telemetry.  Medians
+    and class-coverage come from the detailed records only and are flagged
+    by ``"sampled": True``."""
+    from repro.harness.metrics import classes_for_coverage, median_cycles
+
+    out: dict = {"sampled": True}
+    for metric in (
+        "allocator_improvement",
+        "allocator_limit_improvement",
+        "malloc_improvement",
+        "malloc_limit_improvement",
+        "allocator_fraction",
+        "program_speedup",
+    ):
+        point, lo, hi = c.estimate(metric)
+        out[metric] = point
+        out[f"{metric}_ci"] = [lo, hi]
+    out.update(
+        {
+            "median_malloc_baseline": median_cycles(c.baseline.records),
+            "median_malloc_mallacc": median_cycles(c.mallacc.records),
+            "classes_at_90": classes_for_coverage(c.baseline.records),
+            "baseline_allocator_cycles": c.baseline.allocator_cycles,
+            "mallacc_allocator_cycles": c.mallacc.allocator_cycles,
+            "trace_cache_hits": (
+                c.baseline.trace_cache_hits + c.mallacc.trace_cache_hits
+            ),
+            "trace_cache_misses": (
+                c.baseline.trace_cache_misses + c.mallacc.trace_cache_misses
+            ),
+            "detail_fraction": c.baseline.plan.detail_fraction,
+            "num_intervals": c.baseline.plan.num_intervals,
+            "sampler": c.baseline.config.sampler,
+            "rounds": c.rounds,
+        }
+    )
+    return out
 
 
 def geomean(values: list[float]) -> float:

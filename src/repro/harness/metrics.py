@@ -165,6 +165,27 @@ def intern_summary(*results) -> dict[str, float]:
     }
 
 
+def sampling_summary(*results) -> dict[str, float]:
+    """Aggregate sampled-replay telemetry over run results.
+
+    Accepts any objects carrying ``detailed_calls``/``warming_calls``
+    (:class:`~repro.harness.runner.SampledRunResult`,
+    :class:`~repro.harness.parallel.CellResult`); returns the pooled call
+    counts and the detail fraction (the sampling cost knob: the share of
+    measured calls that paid for detailed timing simulation).  All zeros
+    means every run was exact (or nothing ran).
+    """
+    detailed = sum(getattr(r, "detailed_calls", 0) for r in results)
+    warming = sum(getattr(r, "warming_calls", 0) for r in results)
+    total = detailed + warming
+    return {
+        "detailed_calls": float(detailed),
+        "warming_calls": float(warming),
+        "measured_calls": float(total),
+        "detail_fraction": detailed / total if total else 0.0,
+    }
+
+
 def profile_stage_shares(summary: dict) -> dict[str, float]:
     """Per-stage share of replay wall time from a
     :meth:`~repro.harness.profile.HotPathProfiler.summary` payload.

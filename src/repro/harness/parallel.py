@@ -44,8 +44,14 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.harness.experiments import compare_workload, summarize_comparison
-from repro.harness.metrics import intern_summary, trace_cache_summary
+from repro.harness.experiments import (
+    compare_workload,
+    compare_workload_sampled,
+    summarize_comparison,
+    summarize_sampled_comparison,
+)
+from repro.harness.metrics import intern_summary, sampling_summary, trace_cache_summary
+from repro.sim.sampling import SamplingConfig
 
 CHECKPOINT_VERSION = 1
 
@@ -65,14 +71,41 @@ class SweepCell:
     num_ops: int = 1000
     seed: int = 1
     model_app_traffic: bool = True
+    sampled: bool = False
+    """Replay through :func:`~repro.harness.experiments.compare_workload_sampled`
+    instead of the exact comparison."""
+    interval_ops: int = 200
+    stride: int = 16
+    sampler: str = "systematic"
+    target_ci: float | None = None
+    """Error budget in program-speedup CI half-width percentage points."""
 
     @property
     def cell_id(self) -> str:
-        """Stable identifier; doubles as the checkpoint file stem."""
+        """Stable identifier; doubles as the checkpoint file stem.
+
+        Exact cells keep their historical ids (old checkpoint directories
+        stay resumable); sampled cells append every sampling knob so a
+        config change never reuses a stale checkpoint."""
         suffix = "" if self.model_app_traffic else "-noapp"
+        if self.sampled:
+            budget = f"-t{self.target_ci:g}" if self.target_ci is not None else ""
+            suffix += (
+                f"-smp-{self.sampler}-i{self.interval_ops}"
+                f"-k{self.stride}{budget}"
+            )
         return (
             f"{self.workload}-e{self.cache_entries}"
             f"-n{self.num_ops}-s{self.seed}{suffix}"
+        )
+
+    def sampling_config(self) -> SamplingConfig:
+        return SamplingConfig(
+            interval_ops=self.interval_ops,
+            sampler=self.sampler,
+            stride=self.stride,
+            target_ci=self.target_ci,
+            seed=self.seed,
         )
 
 
@@ -92,12 +125,19 @@ def build_matrix(
     base_seed: int = 1,
     model_app_traffic: bool = True,
     per_task_seeds: bool = True,
+    sampled: bool = False,
+    interval_ops: int = 200,
+    stride: int = 16,
+    sampler: str = "systematic",
+    target_ci: float | None = None,
 ) -> list[SweepCell]:
     """Enumerate the (workload × cache-size) matrix in canonical order.
 
     With ``per_task_seeds`` each workload gets a seed derived from
     ``base_seed`` via :func:`derive_seed`; otherwise every cell uses
     ``base_seed`` verbatim (the legacy serial-sweep convention).
+    ``sampled=True`` replays every cell through the interval-sampling
+    engine with the given knobs (see :class:`SweepCell`).
     """
     return [
         SweepCell(
@@ -106,6 +146,11 @@ def build_matrix(
             num_ops=num_ops,
             seed=derive_seed(base_seed, name) if per_task_seeds else base_seed,
             model_app_traffic=model_app_traffic,
+            sampled=sampled,
+            interval_ops=interval_ops,
+            stride=stride,
+            sampler=sampler,
+            target_ci=target_ci,
         )
         for name in workloads
         for size in cache_sizes
@@ -132,6 +177,10 @@ class CellResult:
     wall_seconds: float = 0.0
     intern_hits: int = 0
     intern_misses: int = 0
+    detailed_calls: int = 0
+    """Calls through the detailed timing model (0 for exact cells, whose
+    summary already accounts every call)."""
+    warming_calls: int = 0
 
     @property
     def trace_cache_hits(self) -> int:
@@ -160,24 +209,41 @@ def run_cell(cell: SweepCell) -> CellResult:
     registry = {**MICROBENCHMARKS, **MACRO_WORKLOADS}
     if cell.workload not in registry:
         raise ValueError(f"unknown workload {cell.workload!r}")
-    comparison = compare_workload(
-        registry[cell.workload],
-        num_ops=cell.num_ops,
-        seed=cell.seed,
-        cache_entries=cell.cache_entries,
-        model_app_traffic=cell.model_app_traffic,
-    )
+    if cell.sampled:
+        comparison = compare_workload_sampled(
+            registry[cell.workload],
+            num_ops=cell.num_ops,
+            seed=cell.seed,
+            cache_entries=cell.cache_entries,
+            model_app_traffic=cell.model_app_traffic,
+            sampling=cell.sampling_config(),
+        )
+        summary = summarize_sampled_comparison(comparison)
+        detailed = comparison.baseline.detailed_calls + comparison.mallacc.detailed_calls
+        warming = comparison.baseline.warming_calls + comparison.mallacc.warming_calls
+    else:
+        comparison = compare_workload(
+            registry[cell.workload],
+            num_ops=cell.num_ops,
+            seed=cell.seed,
+            cache_entries=cell.cache_entries,
+            model_app_traffic=cell.model_app_traffic,
+        )
+        summary = summarize_comparison(comparison)
+        detailed = warming = 0
     return CellResult(
         cell_id=cell.cell_id,
         workload=cell.workload,
         cache_entries=cell.cache_entries,
         num_ops=cell.num_ops,
         seed=cell.seed,
-        summary=summarize_comparison(comparison),
+        summary=summary,
         intern_hits=comparison.baseline.intern_hits + comparison.mallacc.intern_hits,
         intern_misses=(
             comparison.baseline.intern_misses + comparison.mallacc.intern_misses
         ),
+        detailed_calls=detailed,
+        warming_calls=warming,
     )
 
 
@@ -257,6 +323,9 @@ class MatrixStats:
     per_cell_wall: dict[str, float] = field(default_factory=dict)
     trace_cache: dict[str, float] = field(default_factory=dict)
     intern: dict[str, float] = field(default_factory=dict)
+    sampling: dict[str, float] = field(default_factory=dict)
+    """Pooled :func:`~repro.harness.metrics.sampling_summary` over all
+    completed cells (all zeros on an exact-only matrix)."""
 
 
 @dataclass
@@ -412,6 +481,7 @@ def run_matrix(
     stats.wall_seconds = time.perf_counter() - t_start
     stats.trace_cache = trace_cache_summary(*ordered.values())
     stats.intern = intern_summary(*ordered.values())
+    stats.sampling = sampling_summary(*ordered.values())
     _emit(progress, {
         "event": "summary",
         "done": stats.cells_done,

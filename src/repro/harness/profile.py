@@ -37,8 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from time import perf_counter
 
-#: Reporting order for the stage table.
-STAGE_ORDER = ("replay", "emission", "build", "schedule")
+#: Reporting order for the stage table.  ``warming`` is the functional
+#: fast-forward stretch of a sampled replay (skip + warm modes).
+STAGE_ORDER = ("replay", "emission", "build", "schedule", "warming")
 
 
 @dataclass

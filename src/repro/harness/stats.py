@@ -13,10 +13,33 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from scipy import stats as scipy_stats
+try:  # scipy is optional: fall back to the pure-python t machinery.
+    from scipy import stats as scipy_stats
+except ImportError:  # pragma: no cover - exercised via test monkeypatching
+    scipy_stats = None
 
 from repro.harness.experiments import compare_workload
+from repro.sim.sampling import percentile_rank_indices, student_t_sf2
 from repro.workloads.base import Workload
+
+
+def one_sample_t_pvalue_two_sided(values: list[float], popmean: float) -> tuple[float, float]:
+    """``(t_stat, two_sided_p)`` of a one-sample t-test, scipy-free.
+
+    Matches ``scipy.stats.ttest_1samp`` to float precision; used whenever
+    scipy is not installed.
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two values")
+    mu = sum(values) / n
+    var = sum((x - mu) ** 2 for x in values) / (n - 1)
+    if var == 0.0:
+        return (math.inf if mu > popmean else -math.inf if mu < popmean else 0.0), (
+            1.0 if mu == popmean else 0.0
+        )
+    t_stat = (mu - popmean) / math.sqrt(var / n)
+    return t_stat, student_t_sf2(t_stat, n - 1)
 
 
 @dataclass
@@ -39,15 +62,31 @@ class SpeedupTrials:
         mu = self.mean
         return math.sqrt(sum((x - mu) ** 2 for x in self.speedups) / (n - 1))
 
+    _p_value_cache: tuple[int, float] | None = field(
+        default=None, repr=False, compare=False
+    )
+
     @property
     def p_value(self) -> float:
         """One-sided p-value for H0: speedup <= 0 (smaller = stronger
-        evidence of genuine speedup)."""
+        evidence of genuine speedup).  Cached per trial count — sweeps read
+        it repeatedly and the t-test is pure in ``speedups``."""
+        n = len(self.speedups)
+        if self._p_value_cache is not None and self._p_value_cache[0] == n:
+            return self._p_value_cache[1]
+        p = self._compute_p_value()
+        self._p_value_cache = (n, p)
+        return p
+
+    def _compute_p_value(self) -> float:
         if len(self.speedups) < 2:
             return 1.0
         if self.stddev == 0.0:
             return 0.0 if self.mean > 0 else 1.0
-        t_stat, p_two = scipy_stats.ttest_1samp(self.speedups, 0.0)
+        if scipy_stats is not None:
+            t_stat, p_two = scipy_stats.ttest_1samp(self.speedups, 0.0)
+        else:
+            t_stat, p_two = one_sample_t_pvalue_two_sided(self.speedups, 0.0)
         if t_stat <= 0:
             return 1.0
         return p_two / 2.0
@@ -80,10 +119,8 @@ def bootstrap_ci(
     means = sorted(
         sum(rng.choice(values) for _ in range(n)) / n for _ in range(resamples)
     )
-    alpha = (1.0 - confidence) / 2.0
-    lo = means[int(alpha * resamples)]
-    hi = means[min(resamples - 1, int((1.0 - alpha) * resamples))]
-    return (lo, hi)
+    lo_i, hi_i = percentile_rank_indices(resamples, confidence)
+    return (means[lo_i], means[hi_i])
 
 
 def program_speedup_trials(

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.malloc_cache import MallocCacheConfig
-from repro.harness.experiments import compare_workload
+from repro.harness.experiments import compare_workload, compare_workload_sampled
+from repro.sim.sampling import SamplingConfig
 from repro.workloads.base import Workload
 
 DEFAULT_SIZES = (2, 4, 6, 8, 12, 16, 20, 24, 28, 32)
@@ -29,6 +30,11 @@ class SweepResult:
     allocator_speedups: list[float] = field(default_factory=list)
     limit_speedup: float = 0.0
     """The ablation upper bound (the 'Limit' bar of Figure 17)."""
+    sampled: bool = False
+    """True when the curve came from the interval-sampling engine; the
+    ``*_cis`` lists then carry per-point 95% bounds (empty for exact)."""
+    malloc_speedup_cis: list[tuple[float, float]] = field(default_factory=list)
+    allocator_speedup_cis: list[tuple[float, float]] = field(default_factory=list)
 
     def inflection_size(self, threshold_frac: float = 0.5) -> int | None:
         """The smallest cache size reaching ``threshold_frac`` of the best
@@ -54,6 +60,7 @@ def sweep_cache_sizes(
     jobs: int = 1,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    sampling: SamplingConfig | None = None,
 ) -> SweepResult:
     """Run one workload across malloc-cache sizes.
 
@@ -63,13 +70,19 @@ def sweep_cache_sizes(
     loop); ``checkpoint_dir``/``resume`` make the sweep interruptible.
     Sharding requires the default cache-config base — non-default bases are
     not cell-serializable and fall back to the serial path.
+
+    ``sampling`` switches every point to the interval-sampling engine
+    (serial only): the curve becomes an estimate, and the result carries
+    per-point confidence bounds in the ``*_cis`` lists.
     """
     base = cache_config_base or MallocCacheConfig()
-    if jobs > 1 and cache_config_base is None:
+    if jobs > 1 and cache_config_base is None and sampling is None:
         return _sweep_parallel(
             workload, sizes, num_ops, seed, jobs, checkpoint_dir, resume
         )
-    result = SweepResult(workload=workload.name, sizes=tuple(sizes))
+    result = SweepResult(
+        workload=workload.name, sizes=tuple(sizes), sampled=sampling is not None
+    )
     for size in sizes:
         cfg = MallocCacheConfig(
             num_entries=size,
@@ -80,9 +93,19 @@ def sweep_cache_sizes(
             base_lookup_latency=base.base_lookup_latency,
             list_op_latency=base.list_op_latency,
         )
-        comparison = compare_workload(
-            workload, num_ops=num_ops, seed=seed, cache_config=cfg
-        )
+        if sampling is not None:
+            comparison = compare_workload_sampled(
+                workload, num_ops=num_ops, seed=seed, cache_config=cfg,
+                sampling=sampling,
+            )
+            result.malloc_speedup_cis.append(comparison.ci("malloc_improvement"))
+            result.allocator_speedup_cis.append(
+                comparison.ci("allocator_improvement")
+            )
+        else:
+            comparison = compare_workload(
+                workload, num_ops=num_ops, seed=seed, cache_config=cfg
+            )
         result.malloc_speedups.append(comparison.malloc_improvement)
         result.allocator_speedups.append(comparison.allocator_improvement)
         result.limit_speedup = comparison.malloc_limit_improvement

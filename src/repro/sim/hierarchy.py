@@ -375,6 +375,72 @@ class CacheHierarchy:
         self.l3.misses += m3
         self.dram_accesses += dram
 
+    def touch_line_window(self, ranges: list[tuple[int, int]]) -> None:
+        """Replay a window of *distinct* whole lines — ``ranges`` is a list of
+        ``(base_addr, num_lines)`` runs of consecutive 64-byte lines, oldest
+        first — aging only the L3 for all but the trailing
+        ``l2_assoc * l2_sets`` lines.
+
+        The sampled runner's deferred app-traffic flush is the intended
+        caller: its window never repeats a line and is long enough that the
+        head lines are fully shadowed in L1/L2 by the tail, so skipping their
+        inner-level fills leaves the final hierarchy state the same as
+        :meth:`touch_lines` over the full window (when the tail spans a ring
+        wrap the per-set fill counts can be off by one, retaining at most one
+        stale way — sampled replay is approximate there anyway).  Counters
+        stay exact for the same reason: a head line was last touched a full
+        window earlier, long since evicted from L1/L2.
+        """
+        inner = self._a2 * self._n2 if self._fast_demand else 0
+        head_left = sum(n for _, n in ranges) - inner
+        if head_left <= 0:
+            for base, n in ranges:
+                if n:
+                    self.touch_lines(base, n)
+            return
+        shift = self._shift
+        sets1, n1 = self._sets1, self._n1
+        sets2, n2 = self._sets2, self._n2
+        sets3, n3, a3 = self._sets3, self._n3, self._a3
+        h3 = m3 = bulk = 0
+        _len = len
+        for base, n in ranges:
+            if not n:
+                continue
+            if head_left <= 0:
+                self.touch_lines(base, n)
+                continue
+            k = n if n <= head_left else head_left
+            head_left -= k
+            bulk += k
+            start = base >> shift
+            for line in range(start, start + k):
+                ways3 = sets3[line % n3]
+                if line in ways3:
+                    h3 += 1
+                    del ways3[line]
+                    ways3[line] = None
+                    continue
+                m3 += 1
+                if _len(ways3) >= a3:
+                    for v3 in ways3:
+                        break
+                    del ways3[v3]
+                    vset = sets2[v3 % n2]
+                    if v3 in vset:
+                        del vset[v3]
+                    vset = sets1[v3 % n1]
+                    if v3 in vset:
+                        del vset[v3]
+                ways3[line] = None
+            if n - k:
+                self.touch_lines(base + k * 64, n - k)
+        self.l1.misses += bulk
+        self.l2.misses += bulk
+        self.l3.hits += h3
+        self.l3.misses += m3
+        self.dram_accesses += m3
+
     def flush_all(self) -> None:
         for level in self.levels:
             level.flush()

@@ -1,8 +1,13 @@
 """Tests for the report generator (rendering, fast-scale collection)."""
 
+from dataclasses import replace
+
 import pytest
 
+from repro.harness.experiments import compare_workload_sampled
 from repro.harness.report import MACRO_ORDER, MICRO_ORDER, collect, generate_report, render_markdown
+from repro.sim.sampling import SamplingConfig
+from repro.workloads import MACRO_WORKLOADS
 
 
 @pytest.fixture(scope="module")
@@ -51,3 +56,41 @@ class TestRender:
         out = tmp_path / "r.md"
         text = generate_report(str(out), ops=500)
         assert out.read_text() == text
+
+    def test_exact_tables_marked_exact(self, data):
+        text = render_markdown(data)
+        assert "Exact simulation: every op replayed" in text
+        assert "†" not in text
+        assert "program 95% CI" not in text
+
+
+@pytest.fixture(scope="module")
+def sampled_data(data):
+    """The same report data with the macro comparisons re-collected through
+    the sampled engine (test-scale config; production stride would leave a
+    500-op stream with a single sampled interval)."""
+    cfg = SamplingConfig(interval_ops=100, stride=4, warmup_ops=50)
+    comparisons = {
+        name: compare_workload_sampled(
+            MACRO_WORKLOADS[name], num_ops=500, seed=3, sampling=cfg
+        )
+        for name in MACRO_ORDER
+    }
+    return replace(data, comparisons=comparisons, sampling=cfg)
+
+
+class TestSampledRender:
+    def test_footnote_marks_sampled_table(self, sampled_data):
+        text = render_markdown(sampled_data)
+        assert "## Allocator and malloc speedups (Figures 13/14/18) †" in text
+        assert "† Sampled simulation (systematic sampler" in text
+        assert "docs/sampling.md" in text
+        assert "Exact simulation" not in text
+
+    def test_ci_column_present_for_every_workload(self, sampled_data):
+        text = render_markdown(sampled_data)
+        assert "program 95% CI" in text
+        for name in MACRO_ORDER:
+            row = next(l for l in text.splitlines() if l.startswith(f"| {name} "))
+            point, lo, hi = sampled_data.comparisons[name].estimate("program_speedup")
+            assert f"[{lo:.2f}%, {hi:.2f}%]" in row

@@ -1,0 +1,226 @@
+"""Tests for the sampled replay runner.
+
+Three contracts:
+
+* **exact-mode invariance** — ``stride=1`` + ``cache_warming='always'``
+  degenerates to an exact replay, bit-identical to :func:`run_workload`;
+* **flat fast-forward parity** — the allocators' fused
+  ``fast_forward_malloc``/``fast_forward_free`` leave machine and allocator
+  state byte-identical to the generic functional emitter path they replace;
+* **telemetry** — detailed/warming call counts, detail fraction, and the
+  adaptive error-budget loop behave as documented.
+"""
+
+import pytest
+
+from repro.alloc.allocator import TCMalloc
+from repro.core.accel_allocator import MallaccTCMalloc
+from repro.core.malloc_cache import MallocCacheConfig
+from repro.harness.experiments import make_baseline, make_mallacc
+from repro.harness.runner import run_workload, run_workload_sampled
+from repro.sim.sampling import SamplingConfig
+from repro.sim.uop import LIMIT_STUDY_TAGS
+from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS
+
+#: Small, fast sampled config for tests (the production default stride of 16
+#: would leave a 2000-op stream with a single sampled interval).
+TEST_CFG = SamplingConfig(interval_ops=100, stride=4, warmup_ops=50)
+
+
+def _exact_cfg() -> SamplingConfig:
+    return SamplingConfig(interval_ops=100, stride=1, cache_warming="always")
+
+
+class _SlowBaseline(TCMalloc):
+    """Baseline with the flat fast-forward disabled: every skip-mode op
+    falls back to the generic FunctionalEmitter replay."""
+
+    def fast_forward_malloc(self, size):
+        return None
+
+    def fast_forward_free(self, ptr, sized_hint=None):
+        return None
+
+
+class _SlowMallacc(MallaccTCMalloc):
+    def fast_forward_malloc(self, size):
+        return None
+
+    def fast_forward_free(self, ptr, sized_hint=None):
+        return None
+
+
+def _snapshot(alloc):
+    """Full observable state of an allocator + machine, order-stabilized."""
+    m = alloc.machine
+    state = {
+        "clock": m.clock,
+        "lists": [
+            (fl.length, fl.max_length, fl.low_water, sorted(fl._contents))
+            for fl in alloc.thread_cache.lists
+        ],
+        "size_bytes": alloc.thread_cache.size_bytes,
+        "live": sorted(alloc.live.items()),
+        "pred": repr(sorted(vars(m.predictor).items(), key=str)),
+        "mem": repr(sorted(vars(m.memory).items(), key=str)),
+    }
+    if hasattr(alloc, "isa"):
+        state["cache"] = [
+            tuple(sorted(vars(e).items())) for e in alloc.isa.cache.entries
+        ]
+        state["cache_stats"] = vars(alloc.isa.cache.stats)
+        state["pmu"] = (alloc.pmu.accumulated, alloc.pmu.interrupts)
+    return state
+
+
+class TestExactModeInvariance:
+    @pytest.mark.parametrize("workload", ["tp", "gauss_free", "sized_deletes"])
+    def test_bit_identical_to_run_workload(self, workload):
+        wl = MICROBENCHMARKS[workload]
+        ops = list(wl.ops(seed=3, num_ops=1200))
+        for factory in (make_baseline, make_mallacc):
+            exact = run_workload(factory(), ops, name=wl.name)
+            sampled = run_workload_sampled(
+                factory, ops, config=_exact_cfg(), name=wl.name
+            )
+            per_interval_exact = {}
+            for i, rec in enumerate(exact.records):
+                j = min(i // 100, sampled.plan.num_intervals - 1)
+                per_interval_exact[j] = per_interval_exact.get(j, 0) + rec.cycles
+            got = {
+                j: iv.get("allocator", 0.0)
+                for j, iv in sampled.interval_values.items()
+            }
+            assert got == pytest.approx(per_interval_exact)
+            assert sampled.app_cycles == exact.app_cycles
+            assert [r.cycles for r in sampled.records] == [
+                r.cycles for r in exact.records
+            ]
+
+    def test_exact_mode_point_estimate_matches(self):
+        wl = MICROBENCHMARKS["tp"]
+        ops = list(wl.ops(seed=3, num_ops=1000))
+        exact = run_workload(make_baseline(), ops, name=wl.name)
+        sampled = run_workload_sampled(
+            make_baseline, ops, config=_exact_cfg(), name=wl.name
+        )
+        point, lo, hi = sampled.estimate("allocator")
+        assert point == pytest.approx(exact.allocator_cycles)
+        assert lo <= point <= hi
+
+
+class TestFlatFastForwardParity:
+    @pytest.mark.parametrize(
+        "workload", ["400.perlbench", "masstree.same", "xapian.pages"]
+    )
+    def test_baseline_flat_matches_generic(self, workload):
+        wl = MACRO_WORKLOADS[workload]
+        ops = list(wl.ops(seed=7, num_ops=2500))
+        holder = {}
+
+        def fast():
+            holder["a"] = make_baseline()
+            return holder["a"]
+
+        def slow():
+            holder["a"] = _SlowBaseline(ablations={"limit": LIMIT_STUDY_TAGS})
+            return holder["a"]
+
+        r_fast = run_workload_sampled(fast, ops, config=TEST_CFG, name=wl.name)
+        a_fast = holder["a"]
+        r_slow = run_workload_sampled(slow, ops, config=TEST_CFG, name=wl.name)
+        a_slow = holder["a"]
+        assert _snapshot(a_fast) == _snapshot(a_slow)
+        assert r_fast.interval_values == r_slow.interval_values
+
+    @pytest.mark.parametrize("workload", ["masstree.same", "xapian.abstracts"])
+    def test_mallacc_flat_matches_generic(self, workload):
+        wl = MACRO_WORKLOADS[workload]
+        ops = list(wl.ops(seed=7, num_ops=2500))
+        holder = {}
+
+        def fast():
+            holder["a"] = make_mallacc()
+            return holder["a"]
+
+        def slow():
+            holder["a"] = _SlowMallacc(
+                cache_config=MallocCacheConfig(num_entries=32)
+            )
+            return holder["a"]
+
+        r_fast = run_workload_sampled(fast, ops, config=TEST_CFG, name=wl.name)
+        a_fast = holder["a"]
+        r_slow = run_workload_sampled(slow, ops, config=TEST_CFG, name=wl.name)
+        a_slow = holder["a"]
+        assert _snapshot(a_fast) == _snapshot(a_slow)
+        assert r_fast.interval_values == r_slow.interval_values
+
+
+class TestTelemetry:
+    def test_call_counts_partition_measured_ops(self):
+        wl = MICROBENCHMARKS["gauss_free"]
+        ops = list(wl.ops(seed=2, num_ops=1500))
+        result = run_workload_sampled(make_baseline, ops, config=TEST_CFG)
+        measured = sum(1 for op in ops if not op.warmup)
+        assert result.detailed_calls + result.warming_calls == measured
+        assert result.detailed_calls == len(result.records)
+        assert 0.0 < result.detail_fraction < 1.0
+
+    def test_features_cover_every_interval(self):
+        wl = MICROBENCHMARKS["tp"]
+        ops = list(wl.ops(seed=2, num_ops=1200))
+        result = run_workload_sampled(make_baseline, ops, config=TEST_CFG)
+        assert len(result.features) == result.plan.num_intervals
+        assert sum(f.ops for f in result.features) == sum(
+            1 for op in ops if not op.warmup
+        )
+
+    def test_plan_mismatch_rejected(self):
+        from repro.sim.sampling import plan_systematic
+
+        wl = MICROBENCHMARKS["tp"]
+        ops = list(wl.ops(seed=2, num_ops=1000))
+        bad_plan = plan_systematic(3, 1)  # stream yields 10 intervals
+        with pytest.raises(ValueError):
+            run_workload_sampled(make_baseline, ops, config=TEST_CFG, plan=bad_plan)
+
+    def test_adaptive_escalation_tightens_ci(self):
+        wl = MICROBENCHMARKS["gauss_free"]
+        ops = list(wl.ops(seed=2, num_ops=2000))
+        coarse = run_workload_sampled(
+            make_baseline,
+            ops,
+            config=SamplingConfig(interval_ops=100, stride=8, warmup_ops=50),
+        )
+        adaptive = run_workload_sampled(
+            make_baseline,
+            ops,
+            config=SamplingConfig(
+                interval_ops=100, stride=8, warmup_ops=50, target_ci=0.5
+            ),
+        )
+        assert adaptive.rounds >= 1
+        if adaptive.rounds > 1:
+            assert (
+                adaptive.relative_ci_halfwidth <= coarse.relative_ci_halfwidth
+            )
+
+    def test_phase_sampler_runs(self):
+        wl = MICROBENCHMARKS["gauss_free"]
+        ops = list(wl.ops(seed=2, num_ops=1500))
+        result = run_workload_sampled(
+            make_baseline,
+            ops,
+            config=SamplingConfig(
+                interval_ops=100,
+                sampler="phase",
+                num_clusters=3,
+                samples_per_cluster=2,
+                warmup_ops=50,
+            ),
+        )
+        assert result.plan.num_intervals == 15
+        assert len(result.plan.strata) <= 3
+        point, lo, hi = result.estimate("allocator")
+        assert lo <= point <= hi

@@ -1,0 +1,106 @@
+"""Tests for the harness statistics: bootstrap CI indexing and the
+scipy-optional t-test fallback."""
+
+import math
+import random
+
+import pytest
+
+import repro.harness.stats as stats_mod
+from repro.harness.stats import (
+    SpeedupTrials,
+    bootstrap_ci,
+    one_sample_t_pvalue_two_sided,
+)
+
+
+class TestBootstrapCI:
+    def test_brackets_the_sample_mean(self):
+        rng = random.Random(1)
+        values = [2.0 + rng.gauss(0, 0.5) for _ in range(30)]
+        lo, hi = bootstrap_ci(values, confidence=0.95, resamples=1000, seed=0)
+        mean = sum(values) / len(values)
+        assert lo <= mean <= hi
+
+    def test_tightens_with_more_trials(self):
+        rng = random.Random(2)
+        small = [1.0 + rng.gauss(0, 1.0) for _ in range(8)]
+        big = small * 8  # same distribution, 8x the sample size
+        lo_s, hi_s = bootstrap_ci(small, resamples=1000, seed=0)
+        lo_b, hi_b = bootstrap_ci(big, resamples=1000, seed=0)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_ci([3.5]) == (3.5, 3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_rank_indices_not_off_by_one(self):
+        """The interval endpoints must be actual resample order statistics
+        at the ceil-based ranks — the old int() indexing read one past the
+        97.5th percentile order statistic whenever alpha*resamples was
+        integral."""
+        from repro.sim.sampling import percentile_rank_indices
+
+        lo_i, hi_i = percentile_rank_indices(2000, 0.95)
+        assert (lo_i, hi_i) == (49, 1949)
+
+    def test_property_ci_nests_with_confidence(self):
+        """Property: for random samples, a higher-confidence interval from
+        the same resample distribution contains the lower-confidence one."""
+        rng = random.Random(3)
+        for _ in range(20):
+            n = rng.randrange(5, 40)
+            values = [rng.uniform(-5, 5) for _ in range(n)]
+            lo90, hi90 = bootstrap_ci(values, confidence=0.90, resamples=500, seed=7)
+            lo99, hi99 = bootstrap_ci(values, confidence=0.99, resamples=500, seed=7)
+            assert lo99 <= lo90 and hi90 <= hi99
+
+
+class TestPurePythonTTest:
+    def test_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(4)
+        for _ in range(10):
+            values = [rng.gauss(0.5, 1.0) for _ in range(rng.randrange(3, 25))]
+            t_ref, p_ref = scipy_stats.ttest_1samp(values, 0.0)
+            t, p = one_sample_t_pvalue_two_sided(values, 0.0)
+            assert math.isclose(t, t_ref, rel_tol=1e-9)
+            assert math.isclose(p, p_ref, rel_tol=1e-7, abs_tol=1e-12)
+
+    def test_zero_variance(self):
+        t, p = one_sample_t_pvalue_two_sided([2.0, 2.0, 2.0], 0.0)
+        assert t == math.inf and p == 0.0
+        t, p = one_sample_t_pvalue_two_sided([0.0, 0.0], 0.0)
+        assert t == 0.0 and p == 1.0
+
+    def test_p_value_without_scipy(self, monkeypatch):
+        """stats.py must produce the same verdicts with scipy absent."""
+        trials = SpeedupTrials(workload="x", speedups=[1.2, 0.8, 1.5, 0.9, 1.1])
+        with_scipy = trials.p_value
+        monkeypatch.setattr(stats_mod, "scipy_stats", None)
+        fallback = SpeedupTrials(workload="x", speedups=[1.2, 0.8, 1.5, 0.9, 1.1])
+        assert math.isclose(fallback.p_value, with_scipy, rel_tol=1e-7)
+        assert fallback.significant == trials.significant
+
+
+class TestPValueCaching:
+    def test_cached_per_trial_count(self):
+        trials = SpeedupTrials(workload="x", speedups=[1.0, 1.2, 0.9])
+        first = trials.p_value
+        assert trials._p_value_cache == (3, first)
+        assert trials.p_value is first or trials.p_value == first
+
+    def test_cache_invalidated_by_new_trials(self):
+        trials = SpeedupTrials(workload="x", speedups=[1.0, 1.2, 0.9])
+        before = trials.p_value
+        trials.speedups.append(-10.0)
+        after = trials.p_value
+        assert after != before
+        assert trials._p_value_cache == (4, after)
+
+    def test_degenerate_counts(self):
+        assert SpeedupTrials(workload="x", speedups=[]).p_value == 1.0
+        assert SpeedupTrials(workload="x", speedups=[1.0]).p_value == 1.0

@@ -1,0 +1,49 @@
+"""Edge-case tests for SweepResult.inflection_size (Figure 17 analysis)."""
+
+from repro.harness.sweeps import SweepResult
+
+
+def _sweep(speedups, sizes=None):
+    sizes = sizes or tuple(range(2, 2 + 2 * len(speedups), 2))
+    return SweepResult(
+        workload="t", sizes=tuple(sizes), malloc_speedups=list(speedups)
+    )
+
+
+class TestInflectionSize:
+    def test_empty_sweep(self):
+        assert _sweep([], sizes=()).inflection_size() is None
+
+    def test_all_nonpositive_speedups(self):
+        """Small caches that only ever hurt have no inflection point."""
+        assert _sweep([-3.0, -1.5, 0.0]).inflection_size() is None
+
+    def test_monotone_flat_curve(self):
+        """A flat positive curve reaches any threshold at the first size."""
+        sweep = _sweep([5.0, 5.0, 5.0, 5.0])
+        assert sweep.inflection_size() == sweep.sizes[0]
+        assert sweep.inflection_size(threshold_frac=1.0) == sweep.sizes[0]
+
+    def test_exact_boundary_threshold(self):
+        """A point exactly at threshold_frac * best counts (>=, not >)."""
+        sweep = _sweep([2.0, 5.0, 10.0], sizes=(2, 4, 8))
+        assert sweep.inflection_size(threshold_frac=0.5) == 4
+        assert sweep.inflection_size(threshold_frac=0.2) == 2
+
+    def test_sharp_jump_mid_curve(self):
+        """The paper's strided benchmarks: a jump once the cache covers the
+        class count."""
+        sweep = _sweep([-1.0, 0.5, 0.6, 8.0, 8.2], sizes=(2, 4, 6, 8, 12))
+        assert sweep.inflection_size() == 8
+
+    def test_negative_then_positive(self):
+        sweep = _sweep([-5.0, 3.0], sizes=(2, 32))
+        assert sweep.inflection_size() == 32
+
+    def test_threshold_one_requires_the_max(self):
+        sweep = _sweep([1.0, 4.0, 2.0], sizes=(2, 4, 8))
+        assert sweep.inflection_size(threshold_frac=1.0) == 4
+
+    def test_best_at_end_never_reached_early(self):
+        sweep = _sweep([1.0, 1.0, 100.0], sizes=(2, 4, 8))
+        assert sweep.inflection_size(threshold_frac=0.5) == 8

@@ -1,0 +1,126 @@
+"""Differential tests for the sampled simulation engine.
+
+Three contracts, end to end:
+
+* **CI coverage** — on the Table 2 full-program protocol (macro workloads,
+  20k ops, seed 7, default :class:`SamplingConfig`), the sampled 95% CI
+  for program speedup covers the exact value (spot-checked on one workload
+  per family: SPEC, masstree, xapian);
+* **seed stability** — sampled estimates are byte-identical across
+  processes and ``PYTHONHASHSEED`` values (the PR 2 determinism contract
+  extended to sampling);
+* **exact-mode equivalence** — ``stride=1`` + ``cache_warming='always'``
+  reproduces :func:`compare_workload`'s numbers exactly.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.experiments import (
+    compare_workload,
+    compare_workload_sampled,
+    summarize_sampled_comparison,
+)
+from repro.sim.sampling import SamplingConfig
+from repro.workloads import MACRO_WORKLOADS
+
+#: One representative per workload family, cheapest first.
+FAMILY_REPRESENTATIVES = ["400.perlbench", "xapian.abstracts", "masstree.same"]
+
+
+class TestCICoverage:
+    @pytest.mark.parametrize("workload", FAMILY_REPRESENTATIVES)
+    def test_program_speedup_ci_covers_exact(self, workload):
+        """The acceptance protocol: default sampling config, 20k ops."""
+        wl = MACRO_WORKLOADS[workload]
+        exact = compare_workload(wl, num_ops=20000, seed=7)
+        sampled = compare_workload_sampled(
+            wl, num_ops=20000, seed=7, sampling=SamplingConfig()
+        )
+        point, lo, hi = sampled.estimate("program_speedup")
+        assert lo <= exact.program_speedup <= hi, (
+            f"{workload}: exact {exact.program_speedup:.3f} outside "
+            f"sampled CI [{lo:.3f}, {hi:.3f}] (point {point:.3f})"
+        )
+        # The detailed subset must be a small fraction of the stream.
+        assert sampled.baseline.plan.detail_fraction < 0.2
+
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.harness.experiments import (
+    compare_workload_sampled, summarize_sampled_comparison,
+)
+from repro.sim.sampling import SamplingConfig
+from repro.workloads import MACRO_WORKLOADS
+
+c = compare_workload_sampled(
+    MACRO_WORKLOADS["masstree.wcol1"], num_ops=4000, seed=11,
+    sampling=SamplingConfig(interval_ops=100, stride=4, warmup_ops=50,
+                            sampler={sampler!r}),
+)
+print(json.dumps(summarize_sampled_comparison(c), sort_keys=True))
+"""
+
+
+def _run_in_subprocess(sampler: str, hashseed: str) -> str:
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    snippet = _SUBPROCESS_SNIPPET.format(src=os.path.abspath(src), sampler=sampler)
+    out = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("sampler", ["systematic", "phase"])
+    def test_byte_identical_across_hashseeds(self, sampler):
+        """Same sampled summary bytes from processes with different
+        PYTHONHASHSEED values — no hash()-ordering anywhere on the
+        estimation path (including k-means for the phase sampler)."""
+        a = _run_in_subprocess(sampler, "0")
+        b = _run_in_subprocess(sampler, "4242")
+        assert a == b
+        assert json.loads(a)["sampled"] is True
+
+    def test_in_process_repeatability(self):
+        wl = MACRO_WORKLOADS["masstree.wcol1"]
+        cfg = SamplingConfig(interval_ops=100, stride=4, warmup_ops=50)
+        a = compare_workload_sampled(wl, num_ops=4000, seed=11, sampling=cfg)
+        b = compare_workload_sampled(wl, num_ops=4000, seed=11, sampling=cfg)
+        assert summarize_sampled_comparison(a) == summarize_sampled_comparison(b)
+
+
+class TestExactModeEquivalence:
+    def test_stride_one_always_matches_compare_workload(self):
+        wl = MACRO_WORKLOADS["400.perlbench"]
+        exact = compare_workload(wl, num_ops=4000, seed=7)
+        sampled = compare_workload_sampled(
+            wl,
+            num_ops=4000,
+            seed=7,
+            sampling=SamplingConfig(
+                interval_ops=100, stride=1, cache_warming="always"
+            ),
+        )
+        for metric in (
+            "allocator_improvement",
+            "malloc_improvement",
+            "allocator_limit_improvement",
+            "malloc_limit_improvement",
+            "program_speedup",
+        ):
+            assert getattr(sampled, metric) == pytest.approx(
+                getattr(exact, metric), abs=1e-9
+            ), metric
+        assert sampled.baseline.app_cycles == exact.baseline.app_cycles

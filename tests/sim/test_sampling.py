@@ -1,0 +1,275 @@
+"""Unit tests for the sampled-simulation planning and estimation module."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim.sampling import (
+    MODE_DETAIL,
+    MODE_SKIP,
+    MODE_WARM,
+    IntervalFeatures,
+    SamplePlan,
+    SamplingConfig,
+    Stratum,
+    betainc_regularized,
+    bootstrap_metric_ci,
+    bootstrap_total_ci,
+    feature_vectors,
+    horvitz_thompson_total,
+    kmeans,
+    normal_quantile,
+    percentile_rank_indices,
+    plan_op_modes,
+    plan_phase,
+    plan_systematic,
+    small_sample_width_factor,
+    student_t_cdf,
+    student_t_quantile,
+    student_t_sf2,
+)
+
+
+class TestSamplingConfig:
+    def test_defaults_valid(self):
+        cfg = SamplingConfig()
+        assert cfg.sampler == "systematic"
+        assert cfg.stride == 16
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(interval_ops=0)
+        with pytest.raises(ValueError):
+            SamplingConfig(sampler="magic")
+        with pytest.raises(ValueError):
+            SamplingConfig(cache_warming="never")
+        with pytest.raises(ValueError):
+            SamplingConfig(stride=0)
+
+    def test_escalation_halves_stride(self):
+        cfg = SamplingConfig(stride=8)
+        assert cfg.escalated().stride == 4
+        assert SamplingConfig(stride=1).escalated() is None
+
+    def test_escalation_grows_phase_samples(self):
+        cfg = SamplingConfig(sampler="phase", samples_per_cluster=2)
+        assert cfg.escalated().samples_per_cluster == 3
+
+
+class TestSystematicPlan:
+    def test_every_strideth_interval(self):
+        plan = plan_systematic(20, 4)
+        assert plan.sampled == (0, 4, 8, 12, 16)
+        assert plan.strata[0].population == 20
+
+    def test_offset(self):
+        plan = plan_systematic(10, 4, offset=2)
+        assert plan.sampled == (2, 6)
+
+    def test_degenerate_single_sample_padded(self):
+        """A stride covering the whole stream still yields two sampled
+        intervals so the bootstrap has within-stratum variance."""
+        plan = plan_systematic(10, 10)
+        assert len(plan.sampled) == 2
+
+    def test_single_interval(self):
+        plan = plan_systematic(1, 4)
+        assert plan.sampled == (0,)
+
+    def test_weights_sum_to_population(self):
+        plan = plan_systematic(21, 4)
+        assert math.isclose(sum(plan.weights().values()), 21.0)
+
+
+class TestPlanValidation:
+    def test_double_sampled_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplePlan(
+                num_intervals=4,
+                strata=(
+                    Stratum(population=2, sampled=(0,)),
+                    Stratum(population=2, sampled=(0,)),
+                ),
+            )
+
+    def test_partition_enforced(self):
+        with pytest.raises(ValueError):
+            SamplePlan(num_intervals=4, strata=(Stratum(population=3, sampled=(0,)),))
+
+
+class TestPhasePlan:
+    def test_two_obvious_phases(self):
+        vecs = [(0.0, 1.0)] * 6 + [(1.0, 0.0)] * 6
+        plan = plan_phase(vecs, num_clusters=2, samples_per_cluster=2, seed=3)
+        assert plan.num_intervals == 12
+        assert len(plan.strata) == 2
+        # Each stratum's samples must come from one side of the split.
+        for stratum in plan.strata:
+            sides = {i < 6 for i in stratum.sampled}
+            assert len(sides) == 1
+
+    def test_deterministic_across_seed_reuse(self):
+        rng = random.Random(9)
+        vecs = [tuple(rng.random() for _ in range(4)) for _ in range(30)]
+        a = plan_phase(vecs, 5, seed=7)
+        b = plan_phase(vecs, 5, seed=7)
+        assert a == b
+
+    def test_kmeans_identical_points(self):
+        assert kmeans([(1.0, 2.0)] * 8, 3, seed=0) == [0] * 8
+
+    def test_feature_vectors_normalized(self):
+        f = IntervalFeatures()
+        for _ in range(3):
+            f.add(2, "fast")
+        f.add(5, "slow")
+        (vec,) = feature_vectors([f])
+        assert math.isclose(sum(vec), 2.0)  # classes sum to 1, paths sum to 1
+
+
+class TestOpModes:
+    def test_detail_and_staggered_warm_slack(self):
+        plan = plan_systematic(10, 5)  # samples 0 and 5
+        modes = plan_op_modes(plan, 10, 100, warmup_ops=4, cache_warming="slack")
+        assert modes[:10] == [MODE_DETAIL] * 10
+        assert modes[50:60] == [MODE_DETAIL] * 10
+        # Slack before interval 5 is staggered in [warmup_ops, 2*warmup_ops).
+        depth = 4 + (5 * 2654435761) % 4
+        assert modes[50 - depth : 50] == [MODE_WARM] * depth
+        assert modes[50 - depth - 1] == MODE_SKIP
+
+    def test_always_warm_has_no_skip(self):
+        plan = plan_systematic(10, 5)
+        modes = plan_op_modes(plan, 10, 100, warmup_ops=4, cache_warming="always")
+        assert MODE_SKIP not in modes
+
+    def test_tail_folded_into_last_interval(self):
+        plan = plan_systematic(3, 1)
+        modes = plan_op_modes(plan, 10, 35, warmup_ops=0)
+        assert modes == [MODE_DETAIL] * 35
+
+
+class TestPercentileRankIndices:
+    def test_ceil_based_indices(self):
+        lo, hi = percentile_rank_indices(2000, 0.95)
+        assert (lo, hi) == (49, 1949)
+
+    def test_bounds_clamped(self):
+        lo, hi = percentile_rank_indices(3, 0.95)
+        assert 0 <= lo <= hi <= 2
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            percentile_rank_indices(0, 0.95)
+        with pytest.raises(ValueError):
+            percentile_rank_indices(100, 1.0)
+
+    def test_property_order_statistic_definition(self):
+        """Property: for any (resamples, confidence), each returned index is
+        the smallest (clamped) rank whose 1-based order statistic reaches
+        its tail quantile, up to float tolerance, and the pair never
+        inverts."""
+        rng = random.Random(0)
+        tol = 1e-6
+        for _ in range(300):
+            n = rng.randrange(1, 5000)
+            conf = rng.uniform(0.01, 0.999)
+            lo, hi = percentile_rank_indices(n, conf)
+            alpha = (1.0 - conf) / 2.0
+            assert 0 <= lo <= hi <= n - 1
+            # hi+1 is the ceil(q*n)-th order statistic for q = 1 - alpha:
+            # it reaches the quantile, and the previous rank does not.
+            assert hi + 1 >= (1.0 - alpha) * n - tol or hi == n - 1
+            assert hi < (1.0 - alpha) * n + tol
+            assert lo + 1 >= alpha * n - tol
+            assert lo < alpha * n + tol or lo == 0
+
+
+class TestStudentT:
+    def test_betainc_endpoints(self):
+        assert betainc_regularized(2.0, 3.0, 0.0) == 0.0
+        assert betainc_regularized(2.0, 3.0, 1.0) == 1.0
+
+    def test_cdf_symmetry(self):
+        for df in (1, 4, 30):
+            assert math.isclose(
+                student_t_cdf(1.7, df), 1.0 - student_t_cdf(-1.7, df), rel_tol=1e-9
+            )
+        assert student_t_cdf(0.0, 5) == 0.5
+
+    def test_known_quantiles(self):
+        # Classic table values: t_{0.975} at various df.
+        assert math.isclose(student_t_quantile(0.975, 6), 2.4469, abs_tol=2e-4)
+        assert math.isclose(student_t_quantile(0.975, 10), 2.2281, abs_tol=2e-4)
+        assert math.isclose(normal_quantile(0.975), 1.9600, abs_tol=2e-4)
+
+    def test_quantile_inverts_cdf(self):
+        for p in (0.05, 0.5, 0.9, 0.995):
+            assert math.isclose(student_t_cdf(student_t_quantile(p, 7), 7), p, abs_tol=1e-8)
+
+    def test_two_sided_survival(self):
+        t, df = 2.0, 9
+        assert math.isclose(
+            student_t_sf2(t, df), 2.0 * (1.0 - student_t_cdf(t, df)), rel_tol=1e-9
+        )
+
+    def test_width_factor_shrinks_to_one(self):
+        f7 = small_sample_width_factor(7, 0.95)
+        f100 = small_sample_width_factor(100, 0.95)
+        assert f7 > f100 > 1.0
+        assert math.isclose(f7, 2.4469 / 1.9600, abs_tol=1e-3)
+        assert small_sample_width_factor(1, 0.95) == 1.0
+
+
+class TestEstimators:
+    def test_horvitz_thompson_exact_when_fully_sampled(self):
+        plan = plan_systematic(4, 1)
+        values = {0: 10.0, 1: 20.0, 2: 30.0, 3: 40.0}
+        assert horvitz_thompson_total(plan, values) == 100.0
+
+    def test_ht_scales_by_stratum_weight(self):
+        plan = SamplePlan(
+            num_intervals=10, strata=(Stratum(population=10, sampled=(0, 5)),)
+        )
+        assert horvitz_thompson_total(plan, {0: 2.0, 5: 4.0}) == 30.0
+
+    def test_bootstrap_ci_brackets_point(self):
+        plan = plan_systematic(40, 4)
+        rng = random.Random(5)
+        values = {i: 100.0 + rng.uniform(-10, 10) for i in plan.sampled}
+        point, lo, hi = bootstrap_total_ci(plan, values, resamples=200)
+        assert lo <= point <= hi
+        assert math.isclose(point, horvitz_thompson_total(plan, values))
+
+    def test_bootstrap_deterministic_in_seed(self):
+        plan = plan_systematic(40, 4)
+        rng = random.Random(5)
+        values = {i: (100.0 + rng.uniform(-10, 10),) for i in plan.sampled}
+        a = bootstrap_metric_ci(plan, values, lambda t: t[0], seed=3)
+        b = bootstrap_metric_ci(plan, values, lambda t: t[0], seed=3)
+        c = bootstrap_metric_ci(plan, values, lambda t: t[0], seed=4)
+        assert a == b
+        assert a != c
+
+    def test_bootstrap_small_sample_widening(self):
+        """The t-correction must widen the raw percentile interval for a
+        handful of intervals (here 10 → factor t_9/z ≈ 1.155)."""
+        plan = plan_systematic(40, 4)
+        rng = random.Random(5)
+        values = {i: (100.0 + rng.uniform(-10, 10),) for i in plan.sampled}
+        point, lo, hi = bootstrap_metric_ci(plan, values, lambda t: t[0], seed=3)
+        factor = small_sample_width_factor(len(values), 0.95)
+        assert factor > 1.1
+        # Re-derive the raw percentile interval and check the scaling.
+        raw_half = (hi - lo) / factor
+        assert raw_half < hi - lo
+
+    def test_paired_metric(self):
+        plan = plan_systematic(8, 2)
+        values = {i: (100.0, 80.0) for i in plan.sampled}
+        point, lo, hi = bootstrap_metric_ci(
+            plan, values, lambda t: 100.0 * (t[0] - t[1]) / t[0]
+        )
+        assert math.isclose(point, 20.0)
+        assert math.isclose(lo, 20.0) and math.isclose(hi, 20.0)
