@@ -15,6 +15,9 @@ numbers to ``BENCH_hot_path.json`` at the repository root.
   clock with a profiler attached vs not, plus a direct microbenchmark of
   what the *disabled* hooks cost (one attribute read and an ``is None``
   test per allocator call).
+* **observability** — cost of the always-present ``repro.obs`` hook sites
+  with the tracer disabled (one manifest collection plus two global-tracer
+  checks per replay), asserted under 1% of a replay.
 
 Both end-to-end configurations produce bit-identical cycle counts —
 asserted here and, exhaustively, by
@@ -39,6 +42,8 @@ import pytest
 from repro.harness.experiments import compare_workload, make_baseline
 from repro.harness.profile import HotPathProfiler
 from repro.harness.runner import run_workload
+from repro.obs.manifest import collect_manifest
+from repro.obs.tracer import get_tracer
 from repro.workloads import MACRO_WORKLOADS
 
 #: Same trimmed tab02 set as bench_trace_cache.py.
@@ -204,10 +209,44 @@ def _time_profiler():
     }
 
 
+def _time_observability(replay_seconds: float) -> dict:
+    """Disabled-observability cost per replay.
+
+    The runner's hook sites are per-*replay*, not per-op: one manifest
+    collection at entry, one global-tracer read plus ``enabled`` check at
+    each end, and a frozen-dataclass copy to stamp the wall time.  Time
+    exactly that sequence and express it as a fraction of the (already
+    measured) replay wall clock.
+    """
+    n = 2_000
+    name = "483.xalancbmk"
+    with _gc_paused():
+        t0 = time.perf_counter()
+        for _ in range(n):
+            manifest = collect_manifest(
+                {"entry": "run_workload", "workload": name,
+                 "model_app_traffic": True}
+            )
+            tracer = get_tracer()
+            if tracer.enabled:  # pragma: no cover - disabled in this bench
+                raise AssertionError("bench expects the default disabled tracer")
+            if get_tracer().enabled:  # pragma: no cover - exit-side check
+                raise AssertionError
+            manifest.finished(0.0)
+        hook_seconds = time.perf_counter() - t0
+    per_replay = hook_seconds / n
+    return {
+        "workload": name,
+        "hook_seconds_per_replay": round(per_replay, 9),
+        "overhead_disabled": round(per_replay / replay_seconds, 6),
+    }
+
+
 def main() -> dict:
     cpus = _usable_cpus()
     end_to_end = _time_end_to_end()
     profiler = _time_profiler()
+    observability = _time_observability(profiler["seconds_profiler_off"])
     payload = {
         "benchmark": "hot_path_fast_forward",
         "workloads": TRIM_WORKLOADS,
@@ -224,6 +263,7 @@ def main() -> dict:
         "speedup_asserted": cpus >= 2,
         "end_to_end": end_to_end,
         "profiler": profiler,
+        "observability": observability,
         "notes": (
             "before = REPRO_CACHE_IMPL=reference (PR 2 list-based caches) with "
             "emission interning off; after = defaults (O(1) per-set caches, "
@@ -244,6 +284,8 @@ def test_bench_hot_path():
     assert payload["end_to_end"]["intern_hit_rate"] >= 0.80
     # Dormant profiler hooks must stay in the noise (<5% of a replay).
     assert payload["profiler"]["overhead_disabled"] < 0.05
+    # Disabled observability (manifest + tracer hooks) must cost <1%.
+    assert payload["observability"]["overhead_disabled"] < 0.01
     if payload["speedup_asserted"]:
         assert payload["speedup"] >= SPEEDUP_FLOOR
     print()
@@ -254,6 +296,7 @@ def test_bench_hot_path():
               f"({row['seconds_before']:.3f}s -> {row['seconds_after']:.3f}s)")
     print(f"profiler    : {100 * payload['profiler']['overhead_disabled']:.3f}% disabled, "
           f"{100 * payload['profiler']['overhead_enabled']:.1f}% enabled")
+    print(f"observability: {100 * payload['observability']['overhead_disabled']:.4f}% disabled")
     print(f"written to  : {OUT_PATH}")
 
 

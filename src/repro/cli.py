@@ -14,10 +14,15 @@ regenerated without writing code:
   time replaying a workload (stage table + intern/trace-cache hit rates);
 * ``area``        — the Section 6.4 area model;
 * ``validate``    — the Table 1 simulator validation;
+* ``trace``       — replay a workload with the span tracer armed and export
+  a Chrome trace-event JSON (``--export-perfetto out.json``) loadable in
+  Perfetto/chrome://tracing;
 * ``trace-record``/``trace-run`` — capture a workload's op stream to a
   trace file and replay a trace (including traces of real applications
   converted to the format in :mod:`repro.workloads.tracefile`);
-* ``report``      — run the whole battery and write a markdown report.
+* ``report``      — run the whole battery and write a markdown report, or
+  diff two run payloads (``--compare A.json B.json``) and exit nonzero on
+  regressions beyond ``--threshold``.
 """
 
 from __future__ import annotations
@@ -71,6 +76,24 @@ def _sampling_config_from_args(args: argparse.Namespace):
     )
 
 
+def _write_run_json(args: argparse.Namespace, comparison, summary: dict) -> None:
+    """Persist one run's scalar payload (plus provenance) for
+    ``repro report --compare``."""
+    manifest = comparison.baseline.manifest
+    payload = {
+        "workload": comparison.workload,
+        "ops": args.ops,
+        "seed": args.seed,
+        "cache_entries": args.entries,
+        "summary": dict(sorted(summary.items())),
+        "manifest": manifest.to_dict() if manifest is not None else {},
+    }
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    print(f"run payload written to {args.json}")
+
+
 def cmd_run(args: argparse.Namespace) -> None:
     workload = _workload_or_die(args.workload)
     if args.sample:
@@ -107,6 +130,10 @@ def cmd_run(args: argparse.Namespace) -> None:
     print(f"malloc speedup    : {c.malloc_improvement:.1f}%  "
           f"(limit {c.malloc_limit_improvement:.1f}%)")
     print(f"program speedup   : {c.program_speedup:.2f}%")
+    if args.json:
+        from repro.harness.experiments import summarize_comparison
+
+        _write_run_json(args, c, summarize_comparison(c))
 
 
 def _cmd_run_sampled(args: argparse.Namespace, workload) -> None:
@@ -136,6 +163,49 @@ def _cmd_run_sampled(args: argparse.Namespace, workload) -> None:
     ):
         point, lo, hi = c.estimate(metric)
         print(f"{label:<18}: {point:.2f}%  (95% CI [{lo:.2f}, {hi:.2f}])")
+    if args.json:
+        from repro.harness.experiments import summarize_sampled_comparison
+
+        _write_run_json(args, c, summarize_sampled_comparison(c))
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Replay one workload (baseline + Mallacc) with the span tracer armed
+    and export the Chrome trace-event JSON for Perfetto."""
+    from repro.obs.tracer import tracing, validate_chrome_trace
+
+    workload = _workload_or_die(args.workload)
+    with tracing() as tracer:
+        if args.sample:
+            from repro.harness.experiments import compare_workload_sampled
+
+            compare_workload_sampled(
+                workload,
+                num_ops=args.ops,
+                seed=args.seed,
+                cache_entries=args.entries,
+                sampling=_sampling_config_from_args(args),
+            )
+        else:
+            compare_workload(
+                workload, num_ops=args.ops, seed=args.seed,
+                cache_entries=args.entries,
+            )
+        payload = tracer.to_chrome_trace(
+            metadata={"workload": workload.name, "ops": args.ops,
+                      "seed": args.seed}
+        )
+        count = tracer.export_chrome_trace(
+            args.export_perfetto,
+            metadata={"workload": workload.name, "ops": args.ops,
+                      "seed": args.seed},
+        )
+    print(f"wrote {count} trace events to {args.export_perfetto}")
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        sys.exit(1)
 
 
 def cmd_sweep(args: argparse.Namespace) -> None:
@@ -302,6 +372,18 @@ def cmd_profile(args: argparse.Namespace) -> None:
 
 
 def cmd_report(args: argparse.Namespace) -> None:
+    if args.compare:
+        from repro.obs.compare import compare_payloads, load_payload, render_deltas
+
+        path_a, path_b = args.compare
+        deltas = compare_payloads(
+            load_payload(path_a), load_payload(path_b), threshold=args.threshold
+        )
+        print(render_deltas(deltas))
+        if deltas:
+            sys.exit(1)
+        return
+
     from repro.harness.report import generate_report
 
     sampling = _sampling_config_from_args(args) if args.sample else None
@@ -379,8 +461,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable emission-template interning (debugging; results are "
              "bit-identical either way, just slower)",
     )
+    run.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the scalar summary + provenance manifest as JSON "
+             "(feed two of these to 'report --compare')",
+    )
     _add_sampling_args(run)
     run.set_defaults(fn=cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a workload with the span tracer armed and export a "
+             "Perfetto-loadable Chrome trace",
+    )
+    trace.add_argument("workload")
+    trace.add_argument("--ops", type=int, default=1000)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--entries", type=int, default=32, help="malloc cache entries")
+    trace.add_argument(
+        "--export-perfetto", required=True, metavar="OUT.json",
+        help="write the Chrome trace-event JSON here (open in "
+             "https://ui.perfetto.dev or chrome://tracing)",
+    )
+    _add_sampling_args(trace)
+    trace.set_defaults(fn=cmd_trace)
 
     sweep = sub.add_parser("sweep", help="malloc-cache size sweep (Figure 17)")
     sweep.add_argument("workload")
@@ -450,10 +554,24 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--json", action="store_true", help="emit the summary as JSON")
     prof.set_defaults(fn=cmd_profile)
 
-    rep = sub.add_parser("report", help="run the battery, write a markdown report")
+    rep = sub.add_parser(
+        "report",
+        help="run the battery and write a markdown report, or diff two "
+             "run payloads with --compare",
+    )
     rep.add_argument("--out", default="results.md")
     rep.add_argument("--ops", type=int, default=2000)
     rep.add_argument("--seed", type=int, default=1)
+    rep.add_argument(
+        "--compare", nargs=2, metavar=("A.json", "B.json"), default=None,
+        help="instead of generating a report, diff two 'run --json' payloads "
+             "and exit nonzero if any metric delta exceeds --threshold",
+    )
+    rep.add_argument(
+        "--threshold", type=float, default=0.0,
+        help="relative delta tolerated by --compare (default 0: the "
+             "simulator is deterministic, identical runs must match exactly)",
+    )
     _add_sampling_args(rep)
     rep.set_defaults(fn=cmd_report)
 

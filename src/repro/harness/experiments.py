@@ -159,12 +159,33 @@ def compare_workload(
         mallacc_alloc, ops, name=workload.name, model_app_traffic=model_app_traffic
     )
 
+    # The runner cannot know the workload seed or cache size; enrich the
+    # provenance records here where both are in scope.
+    _enrich_manifests(
+        (baseline, mallacc), seed=seed, cache_entries=cache_entries
+    )
     return WorkloadComparison(
         workload=workload.name,
         baseline=baseline,
         mallacc=mallacc,
         paper=dict(workload.paper),
     )
+
+
+def _enrich_manifests(results, seed: int, cache_entries: int) -> None:
+    """Fill in comparison-scope provenance on the (baseline, mallacc) pair's
+    run manifests: the workload seed and the malloc-cache size, plus which
+    side of the comparison each run was."""
+    for result, alloc in zip(results, ("baseline", "mallacc")):
+        manifest = result.manifest
+        if manifest is None:
+            continue
+        result.manifest = replace(
+            manifest,
+            seed=seed,
+            extra=manifest.extra
+            + (("alloc", alloc), ("cache_entries", str(cache_entries))),
+        )
 
 
 def summarize_comparison(c: WorkloadComparison) -> dict[str, float | int]:
@@ -367,6 +388,9 @@ def compare_workload_sampled(
             name=workload.name,
             model_app_traffic=model_app_traffic,
             plan=plan,
+        )
+        _enrich_manifests(
+            (baseline, mallacc), seed=seed, cache_entries=cache_entries
         )
         comparison = SampledComparison(
             workload=workload.name,

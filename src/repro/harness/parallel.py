@@ -51,9 +51,14 @@ from repro.harness.experiments import (
     summarize_sampled_comparison,
 )
 from repro.harness.metrics import intern_summary, sampling_summary, trace_cache_summary
+from repro.obs.bridges import matrix_registry, run_registry
+from repro.obs.manifest import collect_manifest
+from repro.obs.tracer import get_tracer
 from repro.sim.sampling import SamplingConfig
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+"""Bumped to 2 when cells grew ``metrics``/``manifest`` payloads — version-1
+checkpoints are silently recomputed rather than resumed without provenance."""
 
 
 # ---------------------------------------------------------------------------
@@ -181,6 +186,12 @@ class CellResult:
     """Calls through the detailed timing model (0 for exact cells, whose
     summary already accounts every call)."""
     warming_calls: int = 0
+    metrics: dict = field(default_factory=dict)
+    """This cell's serialized :class:`~repro.obs.metrics.MetricsRegistry`
+    (baseline + mallacc telemetry, labeled) — checkpointed with the cell so
+    the pool can merge worker registries without re-running anything."""
+    manifest: dict = field(default_factory=dict)
+    """Serialized :class:`~repro.obs.manifest.RunManifest` for this cell."""
 
     @property
     def trace_cache_hits(self) -> int:
@@ -209,6 +220,7 @@ def run_cell(cell: SweepCell) -> CellResult:
     registry = {**MICROBENCHMARKS, **MACRO_WORKLOADS}
     if cell.workload not in registry:
         raise ValueError(f"unknown workload {cell.workload!r}")
+    manifest = collect_manifest(asdict(cell), seed=cell.seed, cell_id=cell.cell_id)
     if cell.sampled:
         comparison = compare_workload_sampled(
             registry[cell.workload],
@@ -231,6 +243,9 @@ def run_cell(cell: SweepCell) -> CellResult:
         )
         summary = summarize_comparison(comparison)
         detailed = warming = 0
+    cell_metrics = run_registry(comparison.baseline, alloc="baseline")
+    run_registry(comparison.mallacc, cell_metrics, alloc="mallacc")
+    cell_metrics.counter("cells_done").inc()
     return CellResult(
         cell_id=cell.cell_id,
         workload=cell.workload,
@@ -244,6 +259,8 @@ def run_cell(cell: SweepCell) -> CellResult:
         ),
         detailed_calls=detailed,
         warming_calls=warming,
+        metrics=cell_metrics.to_dict(),
+        manifest=manifest.to_dict(),
     )
 
 
@@ -251,6 +268,8 @@ def _timed_cell(cell_fn: Callable[[SweepCell], CellResult], cell: SweepCell) -> 
     t0 = time.perf_counter()
     result = cell_fn(cell)
     result.wall_seconds = time.perf_counter() - t0
+    if result.manifest:
+        result.manifest["wall_seconds"] = result.wall_seconds
     return result
 
 
@@ -326,6 +345,9 @@ class MatrixStats:
     sampling: dict[str, float] = field(default_factory=dict)
     """Pooled :func:`~repro.harness.metrics.sampling_summary` over all
     completed cells (all zeros on an exact-only matrix)."""
+    metrics: dict = field(default_factory=dict)
+    """The merged :class:`~repro.obs.metrics.MetricsRegistry` of every
+    completed cell (serialized) — the pool-level unified telemetry view."""
 
 
 @dataclass
@@ -414,6 +436,8 @@ def run_matrix(
 
     stats = MatrixStats(cells_total=len(cells))
     completed: dict[str, CellResult] = {}
+    tracer = get_tracer()
+    trace_t0 = tracer.now_us() if tracer.enabled else 0
     t_start = time.perf_counter()
 
     pending: list[SweepCell] = []
@@ -452,6 +476,15 @@ def run_matrix(
             stats.per_cell_wall[cell_id] = result.wall_seconds
             if checkpoint_dir is not None:
                 write_checkpoint(checkpoint_dir, by_id[cell_id], result)
+            if tracer.enabled:
+                # Worker cells run in other processes; log them parent-side
+                # with explicit endpoints so the matrix trace shows every
+                # cell as a span ending "now".
+                dur_us = max(1, int(result.wall_seconds * 1e6))
+                tracer.complete(
+                    "matrix_cell", tracer.now_us() - dur_us, dur_us,
+                    cell=cell_id, workload=result.workload,
+                )
             _emit(progress, {
                 "event": "cell_done",
                 "cell": cell_id,
@@ -482,6 +515,16 @@ def run_matrix(
     stats.trace_cache = trace_cache_summary(*ordered.values())
     stats.intern = intern_summary(*ordered.values())
     stats.sampling = sampling_summary(*ordered.values())
+    pooled = matrix_registry(r.metrics for r in ordered.values())
+    pooled.counter("cells_resumed").inc(stats.cells_resumed)
+    pooled.counter("cells_retried").inc(stats.cells_retried)
+    pooled.counter("cells_quarantined").inc(stats.cells_quarantined)
+    stats.metrics = pooled.to_dict()
+    if tracer.enabled:
+        tracer.complete(
+            "run_matrix", trace_t0, tracer.now_us() - trace_t0,
+            cells=stats.cells_total, jobs=jobs,
+        )
     _emit(progress, {
         "event": "summary",
         "done": stats.cells_done,

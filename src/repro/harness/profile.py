@@ -9,9 +9,11 @@ collects, per replay:
 * **stages** — wall-clock seconds and entry counts for ``replay`` (the whole
   op loop, timed by the runner), ``build`` (trace materialization or intern
   lookup in ``TCMalloc._finish``), ``schedule`` (``TimingModel.run`` plus
-  ablation variants).  The residual ``replay - build - schedule`` is the
-  functional emission work (memory ops, hierarchy probes, free-list
-  bookkeeping) and is reported as the derived ``emission`` stage.
+  ablation variants), ``warming`` (a sampled replay's functional
+  fast-forward stretches, timed by the sampled runner).  The residual
+  ``replay - build - schedule - warming`` is the detailed-mode functional
+  emission work (memory ops, hierarchy probes, free-list bookkeeping) and
+  is reported as the derived ``emission`` stage.
 * **counters** — allocator calls and uops seen, plus end-of-run deltas of
   the intern table (hits/misses), the trace-scheduling cache (hits/misses),
   and the cache hierarchy (probes = L1 lookups, DRAM accesses).
@@ -81,11 +83,16 @@ class HotPathProfiler:
         for name, stage in self.stages.items():
             stages[name] = {"seconds": stage.seconds, "entries": stage.entries}
         replay = self.stages.get("replay")
-        build = self.stages.get("build")
-        schedule = self.stages.get("schedule")
         if replay is not None:
-            accounted = (build.seconds if build else 0.0) + (
-                schedule.seconds if schedule else 0.0
+            # The warming stage is timed inside the replay loop too (the
+            # sampled runner adds it separately), so it must be subtracted
+            # here like build/schedule — otherwise functional fast-forward
+            # time is double-counted as both "warming" and "emission" and
+            # the stage shares sum past 1.
+            accounted = sum(
+                self.stages[name].seconds
+                for name in ("build", "schedule", "warming")
+                if name in self.stages
             )
             stages["emission"] = {
                 "seconds": max(replay.seconds - accounted, 0.0),

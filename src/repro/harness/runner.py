@@ -16,6 +16,8 @@ from typing import Callable, Iterable
 
 from repro.alloc.allocator import CallRecord, TCMalloc
 from repro.harness.profile import HotPathProfiler, machine_counter_snapshot
+from repro.obs.manifest import RunManifest, collect_manifest
+from repro.obs.tracer import get_tracer
 from repro.sim.sampling import (
     MODE_DETAIL,
     MODE_SKIP,
@@ -54,6 +56,9 @@ class RunResult:
     never part of the science payload (interning on/off is byte-invisible
     to summaries)."""
     intern_misses: int = 0
+    manifest: RunManifest | None = field(default=None, repr=False, compare=False)
+    """Provenance record (:mod:`repro.obs.manifest`) — observability, not
+    science: excluded from equality and every figure payload."""
 
     @property
     def trace_cache_lookups(self) -> int:
@@ -214,6 +219,13 @@ def run_workload(
     result = RunResult(workload=name)
     slots: dict[int, int] = {}
     app_offset = 0
+    manifest = collect_manifest(
+        {"entry": "run_workload", "workload": name,
+         "model_app_traffic": model_app_traffic},
+    )
+    tracer = get_tracer()
+    trace_t0 = tracer.now_us() if tracer.enabled else 0
+    wall_t0 = perf_counter()
     cache_before = _cache_snapshots([machine])
     intern_before = _intern_snapshots([machine])
     prof_state = _profiler_begin(profiler, [machine])
@@ -260,6 +272,12 @@ def run_workload(
         [machine], cache_before
     )
     result.intern_hits, result.intern_misses = _intern_delta([machine], intern_before)
+    result.manifest = manifest.finished(perf_counter() - wall_t0)
+    if tracer.enabled:
+        tracer.complete(
+            "run_workload", trace_t0, tracer.now_us() - trace_t0,
+            workload=name, calls=len(result.records),
+        )
     return result
 
 
@@ -303,6 +321,8 @@ class SampledRunResult:
     trace_cache_misses: int = 0
     intern_hits: int = 0
     intern_misses: int = 0
+    manifest: RunManifest | None = field(default=None, repr=False, compare=False)
+    """Provenance record — observability, never part of the estimates."""
     _estimates: dict[str, tuple[float, float, float]] = field(
         default_factory=dict, repr=False
     )
@@ -491,6 +511,16 @@ def run_workload_sampled(
     """
     cfg = config or SamplingConfig()
     ops = list(ops)
+    manifest = collect_manifest(
+        {"entry": "run_workload_sampled", "workload": name,
+         "model_app_traffic": model_app_traffic,
+         "sampler": cfg.sampler, "interval_ops": cfg.interval_ops,
+         "stride": cfg.stride, "target_ci": cfg.target_ci},
+        seed=cfg.seed,
+    )
+    tracer = get_tracer()
+    trace_t0 = tracer.now_us() if tracer.enabled else 0
+    wall_t0 = perf_counter()
     features: list[IntervalFeatures] | None = None
     if plan is None:
         plan, features = plan_for_ops(allocator_factory, ops, cfg, features=None)
@@ -501,12 +531,19 @@ def run_workload_sampled(
             allocator_factory(), ops, cfg, plan, name, model_app_traffic, profiler
         )
         result.rounds = rounds
-        if cfg.target_ci is None:
-            return result
-        if result.relative_ci_halfwidth * 100.0 <= cfg.target_ci:
-            return result
-        denser = cfg.escalated()
-        if denser is None or rounds >= cfg.max_rounds:
+        done = (
+            cfg.target_ci is None
+            or result.relative_ci_halfwidth * 100.0 <= cfg.target_ci
+        )
+        denser = None if done else cfg.escalated()
+        if done or denser is None or rounds >= cfg.max_rounds:
+            result.manifest = manifest.finished(perf_counter() - wall_t0)
+            if tracer.enabled:
+                tracer.complete(
+                    "run_workload_sampled", trace_t0, tracer.now_us() - trace_t0,
+                    workload=name, rounds=rounds,
+                    detailed_calls=result.detailed_calls,
+                )
             return result
         cfg = denser
         plan, features = plan_for_ops(allocator_factory, ops, cfg, features=features)
@@ -759,6 +796,8 @@ class MultiThreadRunResult:
     intern_hits: int = 0
     """Emission-template intern hits summed over all cores' interners."""
     intern_misses: int = 0
+    manifest: RunManifest | None = field(default=None, repr=False, compare=False)
+    """Provenance record — observability, not science."""
 
     @property
     def allocator_cycles(self) -> int:
@@ -804,6 +843,13 @@ def run_multithreaded(
     result = MultiThreadRunResult(workload=name)
     slots: dict[int, int] = {}
     machines = getattr(mt_allocator, "core_machines", [mt_allocator.machine])
+    manifest = collect_manifest(
+        {"entry": "run_multithreaded", "workload": name,
+         "model_app_traffic": model_app_traffic, "cores": len(machines)},
+    )
+    tracer = get_tracer()
+    trace_t0 = tracer.now_us() if tracer.enabled else 0
+    wall_t0 = perf_counter()
     cache_before = _cache_snapshots(machines)
     intern_before = _intern_snapshots(machines)
     prof_state = _profiler_begin(profiler, machines)
@@ -860,4 +906,10 @@ def run_multithreaded(
     stats = mt_allocator.coherence_stats()
     if stats is not None:
         result.coherence_transfers = stats.remote_transfers
+    result.manifest = manifest.finished(perf_counter() - wall_t0)
+    if tracer.enabled:
+        tracer.complete(
+            "run_multithreaded", trace_t0, tracer.now_us() - trace_t0,
+            workload=name, calls=len(result.records),
+        )
     return result

@@ -1,0 +1,98 @@
+"""Bridges from the existing stat carriers into a :class:`MetricsRegistry`.
+
+Each perf subsystem keeps its native counters (cheap, local, zero-dep);
+these adapters lift them into one registry after the fact, which is how the
+"unify the ad-hoc stats" goal coexists with the hot path staying untouched:
+
+* :func:`run_registry` — a :class:`~repro.harness.runner.RunResult`,
+  :class:`~repro.harness.runner.SampledRunResult`, or
+  :class:`~repro.harness.runner.MultiThreadRunResult` (duck-typed);
+* :func:`profiler_registry` — a
+  :class:`~repro.harness.profile.HotPathProfiler`;
+* :func:`stats_registry` — a ``TraceCacheStats``/``TraceInternStats``
+  hits/misses/evictions carrier;
+* :func:`matrix_registry` — re-hydrates and merges the per-cell registries
+  a matrix run serialized into its checkpoints.
+
+All of them accept an existing registry to accumulate into, plus extra
+labels (``alloc="baseline"``) to keep series from different runs of the
+same workload distinct instead of silently summed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def run_registry(
+    result,
+    registry: MetricsRegistry | None = None,
+    histogram: bool = True,
+    **labels: object,
+) -> MetricsRegistry:
+    """Lift one run result's telemetry into a registry.
+
+    ``histogram=True`` also folds every call record into a ``call_cycles``
+    histogram (O(records) — skip it when only the counters matter).
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    if getattr(result, "workload", ""):
+        labels.setdefault("workload", result.workload)
+    reg.counter("calls", **labels).inc(len(result.records))
+    reg.counter("warmup_calls", **labels).inc(result.warmup_calls)
+    reg.counter("app_cycles", **labels).inc(result.app_cycles)
+    reg.counter("trace_cache_hits", **labels).inc(result.trace_cache_hits)
+    reg.counter("trace_cache_misses", **labels).inc(result.trace_cache_misses)
+    reg.counter("intern_hits", **labels).inc(result.intern_hits)
+    reg.counter("intern_misses", **labels).inc(result.intern_misses)
+    detailed = getattr(result, "detailed_calls", None)
+    if detailed is not None:  # sampled replay telemetry
+        reg.counter("detailed_calls", **labels).inc(detailed)
+        reg.counter("warming_calls", **labels).inc(result.warming_calls)
+        reg.gauge("sampling_rounds", **labels).set(result.rounds)
+    if histogram:
+        hist = reg.histogram("call_cycles", **labels)
+        for record in result.records:
+            hist.observe(record.cycles)
+    return reg
+
+
+def profiler_registry(
+    profiler, registry: MetricsRegistry | None = None, **labels: object
+) -> MetricsRegistry:
+    """Lift a :class:`HotPathProfiler`'s stages and counters.  Stage wall
+    time becomes a (float) counter labeled by stage, so merged registries
+    sum seconds across cells exactly like ``HotPathProfiler.merge``."""
+    reg = registry if registry is not None else MetricsRegistry()
+    for name, stage in profiler.stages.items():
+        reg.counter("stage_seconds", stage=name, **labels).inc(stage.seconds)
+        reg.counter("stage_entries", stage=name, **labels).inc(stage.entries)
+    for name, value in profiler.counters.items():
+        reg.counter(f"profile_{name}", **labels).inc(value)
+    return reg
+
+
+def stats_registry(
+    stats,
+    name: str,
+    registry: MetricsRegistry | None = None,
+    **labels: object,
+) -> MetricsRegistry:
+    """Lift a hits/misses(/evictions) stats object (``TraceCacheStats``,
+    ``TraceInternStats``) under the series prefix ``name``."""
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.counter(f"{name}_hits", **labels).inc(stats.hits)
+    reg.counter(f"{name}_misses", **labels).inc(stats.misses)
+    if hasattr(stats, "evictions"):
+        reg.counter(f"{name}_evictions", **labels).inc(stats.evictions)
+    return reg
+
+
+def matrix_registry(payloads: Iterable[Mapping]) -> MetricsRegistry:
+    """Merge serialized per-cell registries (``CellResult.metrics``) back
+    into one pool-level registry."""
+    return MetricsRegistry.merged(
+        MetricsRegistry.from_dict(p) for p in payloads if p
+    )

@@ -1,0 +1,139 @@
+"""Regression diffing between two JSON run payloads.
+
+``repro report --compare A.json B.json`` loads two payloads (``run
+--json``, matrix exports, BENCH artifacts — any JSON tree), flattens every
+scalar leaf to a dotted path, and flags relative deltas beyond a threshold.
+The default threshold is 0: the simulator is deterministic, so two runs of
+the same configuration must match *exactly*, and CI runs precisely that
+self-check (two identical smoke runs → zero flagged deltas).  A nonzero
+threshold (``--threshold 0.05``) turns the same machinery into a
+cross-commit perf guard alongside ``benchmarks/check_bench_regression.py``.
+
+Wall-clock fields and manifests legitimately differ between byte-identical
+runs, so they are ignored by default (:data:`DEFAULT_IGNORE`); pass extra
+``fnmatch`` patterns to widen the blind spot deliberately rather than by
+raising the threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Iterable, Mapping, Sequence
+
+#: Path patterns excluded from comparison: timing and provenance differ
+#: between identical runs by construction.
+DEFAULT_IGNORE = (
+    "*wall_seconds*",
+    "*wall_time*",
+    "*started_at*",
+    "*manifest*",
+    "*seconds_per_rep*",
+)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One flagged difference between payload A and payload B."""
+
+    path: str
+    a: object
+    b: object
+    rel_delta: float
+    """Relative change |b-a|/max(|a|,|b|); inf when only one side exists
+    or the values are non-numeric and unequal."""
+    reason: str
+    """``changed`` | ``missing_in_a`` | ``missing_in_b`` | ``type``."""
+
+    def describe(self) -> str:
+        if self.reason == "missing_in_a":
+            return f"{self.path}: only in B (= {self.b!r})"
+        if self.reason == "missing_in_b":
+            return f"{self.path}: only in A (= {self.a!r})"
+        if isinstance(self.a, (int, float)) and isinstance(self.b, (int, float)):
+            return (
+                f"{self.path}: {self.a!r} -> {self.b!r} "
+                f"({self.rel_delta:+.2%} relative)"
+            )
+        return f"{self.path}: {self.a!r} != {self.b!r}"
+
+
+def load_payload(path: str | os.PathLike) -> dict:
+    """Read a JSON payload for comparison (must be a JSON object)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def flatten(payload: object, prefix: str = "") -> dict[str, object]:
+    """Scalar leaves of a JSON tree keyed by dotted path; list elements
+    get index segments (``table.rows.3.cycles``)."""
+    leaves: dict[str, object] = {}
+    if isinstance(payload, Mapping):
+        for key in sorted(payload, key=str):
+            leaves.update(flatten(payload[key], f"{prefix}{key}."))
+    elif isinstance(payload, (list, tuple)):
+        for i, item in enumerate(payload):
+            leaves.update(flatten(item, f"{prefix}{i}."))
+    else:
+        leaves[prefix[:-1]] = payload
+    return leaves
+
+
+def _ignored(path: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatchcase(path, pat) for pat in patterns)
+
+
+def _rel_delta(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    denom = max(abs(a), abs(b))
+    return abs(b - a) / denom if denom else 0.0
+
+
+def compare_payloads(
+    a: Mapping[str, object],
+    b: Mapping[str, object],
+    threshold: float = 0.0,
+    ignore: Iterable[str] = DEFAULT_IGNORE,
+) -> list[MetricDelta]:
+    """All differences between two payloads that exceed ``threshold``
+    (relative, numeric leaves) or differ at all (structure, strings,
+    booleans).  An empty list means the runs agree."""
+    patterns = tuple(ignore)
+    flat_a = {k: v for k, v in flatten(a).items() if not _ignored(k, patterns)}
+    flat_b = {k: v for k, v in flatten(b).items() if not _ignored(k, patterns)}
+    deltas: list[MetricDelta] = []
+    for path in sorted(set(flat_a) | set(flat_b)):
+        if path not in flat_a:
+            deltas.append(MetricDelta(path, None, flat_b[path], float("inf"), "missing_in_a"))
+            continue
+        if path not in flat_b:
+            deltas.append(MetricDelta(path, flat_a[path], None, float("inf"), "missing_in_b"))
+            continue
+        va, vb = flat_a[path], flat_b[path]
+        numeric_a = isinstance(va, (int, float)) and not isinstance(va, bool)
+        numeric_b = isinstance(vb, (int, float)) and not isinstance(vb, bool)
+        if numeric_a and numeric_b:
+            rel = _rel_delta(float(va), float(vb))
+            if rel > threshold:
+                deltas.append(MetricDelta(path, va, vb, rel, "changed"))
+        elif va != vb:
+            reason = "changed" if type(va) is type(vb) else "type"
+            deltas.append(MetricDelta(path, va, vb, float("inf"), reason))
+    return deltas
+
+
+def render_deltas(deltas: Sequence[MetricDelta], limit: int = 50) -> str:
+    """Human summary for the CLI: one line per flagged delta."""
+    if not deltas:
+        return "OK: payloads match (no flagged deltas)"
+    lines = [f"FLAGGED: {len(deltas)} delta(s)"]
+    lines += [f"  {d.describe()}" for d in deltas[:limit]]
+    if len(deltas) > limit:
+        lines.append(f"  ... and {len(deltas) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Immutable run provenance: what exactly produced this result?
+
+A :class:`RunManifest` pins down everything needed to reproduce or audit a
+run after the fact — the config fingerprint, the seeds, the env knobs that
+silently change behaviour (``REPRO_TRACE_INTERN``, ``REPRO_CACHE_IMPL``,
+...), the git SHA of the working tree, the package version, and wall-clock
+timing.  One is attached to every :class:`~repro.harness.runner.RunResult`,
+:class:`~repro.harness.runner.SampledRunResult`, and matrix checkpoint, and
+surfaced in ``repro report`` output.
+
+Manifests are *observability*, not *results*: they never feed back into the
+simulation, and the figure/table payloads (``figure_data()``,
+``matrix_to_json``) exclude them, so results stay byte-identical whether
+manifests are collected or not.  Collection is deliberately cheap — a few
+``os.environ`` reads, one small sha256, and a cached ``git rev-parse`` that
+runs at most once per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Mapping
+
+
+def _package_version() -> str:
+    # Imported lazily: the runner imports repro.obs while ``repro``'s own
+    # __init__ is still executing, before __version__ is bound.
+    try:
+        from repro import __version__
+
+        return __version__
+    except ImportError:  # pragma: no cover - partial-init fallback
+        return "unknown"
+
+#: Environment knobs that change simulator behaviour.  Captured verbatim
+#: (unset keys are omitted) so a manifest diff reveals "you ran with the
+#: reference cache implementation" style divergences.
+ENV_KNOBS = (
+    "REPRO_TRACE_CACHE",
+    "REPRO_TRACE_INTERN",
+    "REPRO_INTERN_VALIDATE",
+    "REPRO_CACHE_IMPL",
+    "REPRO_OBS_TRACE",
+    "PYTHONHASHSEED",
+)
+
+_GIT_SHA_CACHE: str | None = None
+_GIT_SHA_KNOWN = False
+
+
+def git_sha() -> str:
+    """The working tree's HEAD SHA, or ``"unknown"`` outside a repo.
+    Cached so a matrix of hundreds of cells costs one subprocess."""
+    global _GIT_SHA_CACHE, _GIT_SHA_KNOWN
+    if not _GIT_SHA_KNOWN:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            )
+            sha = out.stdout.strip()
+            _GIT_SHA_CACHE = sha if out.returncode == 0 and sha else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA_CACHE = "unknown"
+        _GIT_SHA_KNOWN = True
+    return _GIT_SHA_CACHE
+
+
+def config_fingerprint(config: Mapping[str, object]) -> str:
+    """A short, stable sha256 over a JSON-able config mapping.  Keys are
+    sorted and values round-tripped through JSON, so dict insertion order
+    and PYTHONHASHSEED cannot change the fingerprint."""
+    blob = json.dumps(config, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance for one run.  Frozen: a manifest describes what happened
+    and is never edited afterwards."""
+
+    config_hash: str
+    seed: int | None
+    env: tuple[tuple[str, str], ...]
+    git_sha: str
+    package_version: str
+    python_version: str
+    platform: str
+    started_at: float
+    """Unix time the run began."""
+    wall_seconds: float = 0.0
+    config: tuple[tuple[str, str], ...] = ()
+    """The fingerprinted config itself, stringified — small by design."""
+    extra: tuple[tuple[str, str], ...] = ()
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        for key in ("env", "config", "extra"):
+            payload[key] = {k: v for k, v in payload[key]}
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
+        data = dict(payload)
+        for key in ("env", "config", "extra"):
+            mapping = data.get(key, {}) or {}
+            data[key] = tuple(sorted((str(k), str(v)) for k, v in mapping.items()))
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def finished(self, wall_seconds: float) -> "RunManifest":
+        """A copy with the wall time filled in (manifests are frozen)."""
+        return replace(self, wall_seconds=wall_seconds)
+
+    def describe(self) -> str:
+        """One-line human rendering for reports and logs."""
+        env = ",".join(f"{k}={v}" for k, v in self.env) or "-"
+        return (
+            f"config={self.config_hash} seed={self.seed} git={self.git_sha[:12]} "
+            f"v{self.package_version} env[{env}] wall={self.wall_seconds:.3f}s"
+        )
+
+
+def collect_manifest(
+    config: Mapping[str, object] | None = None,
+    seed: int | None = None,
+    **extra: object,
+) -> RunManifest:
+    """Snapshot provenance for a run that is starting now."""
+    config = dict(config or {})
+    env = tuple(
+        (k, os.environ[k]) for k in ENV_KNOBS if k in os.environ
+    )
+    return RunManifest(
+        config_hash=config_fingerprint(config),
+        seed=seed,
+        env=env,
+        git_sha=git_sha(),
+        package_version=_package_version(),
+        python_version=platform.python_version(),
+        platform=platform.platform(),
+        started_at=time.time(),
+        config=tuple(sorted((str(k), json.dumps(v, sort_keys=True, default=str))
+                            for k, v in config.items())),
+        extra=tuple(sorted((str(k), str(v)) for k, v in extra.items())),
+    )

@@ -1,0 +1,253 @@
+"""Cross-allocator differential fuzzer.
+
+Hypothesis generates seeded, shrinkable malloc/free/realloc op streams and
+replays each stream against every allocator in the repository — TCMalloc,
+Jemalloc, Hoard, and the buddy allocator — checking the universal heap
+invariants after every step:
+
+* **no double-free acceptance**: freeing a dead or never-allocated pointer
+  must raise, never corrupt;
+* **no overlapping live allocations**: every returned block ``[ptr, ptr +
+  granted)`` is disjoint from all live blocks;
+* **size-class containment**: the granted block size covers the request;
+* **accounting consistency**: free-list lengths match the blocks actually
+  reachable through simulated memory (``check_conservation`` /
+  ``check_invariants``), and a full drain leaves zero live bytes.
+
+The *differential* claim is that all four allocators agree on the
+functional outcome of every op — any stream one accepts, all accept."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.allocator import TCMalloc
+from repro.alloc.buddy import BuddyAllocator
+from repro.alloc.hoard import HoardAllocator
+from repro.alloc.jemalloc import Jemalloc
+
+import pytest
+
+#: A pointer no allocator ever hands out: unaligned and below every arena.
+BOGUS_PTR = 0x3
+
+MAX_FUZZ_SIZE = 3500  # within Hoard's 4 KB block ceiling (smallest limit)
+
+
+# -- uniform adapters --------------------------------------------------------
+class _TCMallocFamily:
+    """TCMalloc and Jemalloc share the full TCMalloc surface."""
+
+    def __init__(self, alloc: TCMalloc) -> None:
+        self.alloc = alloc
+
+    def malloc(self, size: int) -> int:
+        ptr, _ = self.alloc.malloc(size)
+        return ptr
+
+    def free(self, ptr: int) -> None:
+        self.alloc.free(ptr)
+
+    def realloc(self, ptr: int, new_size: int) -> int:
+        new_ptr, _ = self.alloc.realloc(ptr, new_size)
+        return new_ptr
+
+    def granted(self, size: int) -> int:
+        table = self.alloc.table
+        return table.alloc_size_of(table.size_class_of(size))
+
+    def final_check(self) -> None:
+        self.alloc.check_conservation()
+        # Free-list length accounting: the mirrored Python length must match
+        # the chain actually reachable through simulated memory.
+        for cl in range(1, self.alloc.table.num_classes):
+            flist = self.alloc.thread_cache.lists[cl]
+            reachable = list(flist.iter_blocks())
+            assert len(reachable) == flist.length, (
+                f"class {cl}: {len(reachable)} reachable, "
+                f"accounting says {flist.length}"
+            )
+            assert set(reachable) == flist._contents
+
+    @property
+    def live_count(self) -> int:
+        return len(self.alloc.live)
+
+
+class _HoardAdapter:
+    def __init__(self) -> None:
+        self.alloc = HoardAllocator()
+
+    def malloc(self, size: int) -> int:
+        ptr, _ = self.alloc.malloc(size)
+        return ptr
+
+    def free(self, ptr: int) -> None:
+        self.alloc.free(ptr)
+
+    def realloc(self, ptr: int, new_size: int) -> int:
+        new_ptr = self.malloc(new_size)  # move-style realloc
+        self.free(ptr)
+        return new_ptr
+
+    def granted(self, size: int) -> int:
+        return self.alloc.block_size_of(self.alloc.class_of(size))
+
+    def final_check(self) -> None:
+        self.alloc.check_invariants()
+
+    @property
+    def live_count(self) -> int:
+        return len(self.alloc.live)
+
+
+class _BuddyAdapter:
+    def __init__(self) -> None:
+        self.alloc = BuddyAllocator()
+
+    def malloc(self, size: int) -> int:
+        ptr, _ = self.alloc.malloc(size)
+        return ptr
+
+    def free(self, ptr: int) -> None:
+        self.alloc.free(ptr)
+
+    def realloc(self, ptr: int, new_size: int) -> int:
+        new_ptr = self.malloc(new_size)
+        self.free(ptr)
+        return new_ptr
+
+    def granted(self, size: int) -> int:
+        return 1 << BuddyAllocator.order_for(size)
+
+    def final_check(self) -> None:
+        self.alloc.check_invariants()
+
+    @property
+    def live_count(self) -> int:
+        return len(self.alloc.live)
+
+
+def _adapters():
+    return {
+        "tcmalloc": _TCMallocFamily(TCMalloc()),
+        "jemalloc": _TCMallocFamily(Jemalloc()),
+        "hoard": _HoardAdapter(),
+        "buddy": _BuddyAdapter(),
+    }
+
+
+# -- the replay driver -------------------------------------------------------
+class _Driver:
+    """Replays one abstract op stream on one adapter, holding the
+    invariants; tracks live intervals independently of the allocator's own
+    bookkeeping so the two can disagree loudly."""
+
+    def __init__(self, adapter) -> None:
+        self.adapter = adapter
+        self.blocks: dict[int, int] = {}  # ptr -> granted bytes
+        self.order: list[int] = []  # allocation order, for index-stable picks
+        self.outcomes: list[str] = []
+
+    def _note_alloc(self, ptr: int, size: int) -> None:
+        granted = self.adapter.granted(size)
+        assert granted >= size, f"granted {granted} < requested {size}"
+        for other, span in self.blocks.items():
+            assert ptr + granted <= other or other + span <= ptr, (
+                f"[{ptr:#x}, +{granted}) overlaps live [{other:#x}, +{span})"
+            )
+        self.blocks[ptr] = granted
+        self.order.append(ptr)
+
+    def _drop(self, ptr: int) -> None:
+        del self.blocks[ptr]
+        self.order.remove(ptr)
+
+    def _pick(self, index: int) -> int:
+        return self.order[index % len(self.order)]
+
+    def step(self, op) -> None:
+        kind, index, size = op
+        if kind == "malloc" or not self.order:
+            self._note_alloc(self.adapter.malloc(size), size)
+            self.outcomes.append("malloc")
+        elif kind == "free":
+            self.adapter.free(self._pick_and_drop(index))
+            self.outcomes.append("free")
+        elif kind == "realloc":
+            old = self._pick(index)
+            new_ptr = self.adapter.realloc(old, size)
+            if new_ptr != old:
+                self._drop(old)
+                self._note_alloc(new_ptr, size)
+            else:
+                # In-place realloc: same block, so the granted size must
+                # already cover the new request.
+                assert self.blocks[old] >= self.adapter.granted(size) >= size
+                self._drop(old)
+                self._note_alloc(old, size)
+            self.outcomes.append("realloc")
+        else:  # double_free probe
+            ptr = self._pick_and_drop(index)
+            self.adapter.free(ptr)
+            with pytest.raises(ValueError):
+                self.adapter.free(ptr)
+            self.outcomes.append("double_free_rejected")
+
+    def _pick_and_drop(self, index: int) -> int:
+        ptr = self._pick(index)
+        self._drop(ptr)
+        return ptr
+
+    def drain(self) -> None:
+        for ptr in list(self.order):
+            self._drop(ptr)
+            self.adapter.free(ptr)
+        assert self.adapter.live_count == 0
+        assert not self.blocks
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["malloc", "malloc", "malloc", "free", "realloc", "double_free"]),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=MAX_FUZZ_SIZE),
+)
+stream_strategy = st.lists(op_strategy, min_size=1, max_size=40)
+
+
+class TestDifferentialFuzzer:
+    @settings(max_examples=20, deadline=None)
+    @given(stream_strategy)
+    def test_all_allocators_hold_invariants(self, stream):
+        drivers = {name: _Driver(adapter) for name, adapter in _adapters().items()}
+        for op in stream:
+            for driver in drivers.values():
+                driver.step(op)
+        # Differential agreement: every allocator saw the same functional
+        # outcome for every op.
+        outcomes = {name: d.outcomes for name, d in drivers.items()}
+        first = next(iter(outcomes.values()))
+        assert all(o == first for o in outcomes.values()), outcomes
+        for name, driver in drivers.items():
+            driver.drain()
+            driver.adapter.final_check()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=MAX_FUZZ_SIZE),
+                    min_size=1, max_size=20))
+    def test_free_of_unknown_pointer_rejected_everywhere(self, sizes):
+        for name, adapter in _adapters().items():
+            ptrs = [adapter.malloc(size) for size in sizes]
+            with pytest.raises(ValueError):
+                adapter.free(BOGUS_PTR)
+            # The failed free must not have corrupted anything.
+            for ptr in ptrs:
+                adapter.free(ptr)
+            adapter.final_check()
+
+    def test_sized_free_mismatch_guard(self):
+        """TCMalloc-family extra: sized delete with a wrong size hint that
+        maps to a different class is rejected (heap-corruption guard)."""
+        for alloc in (TCMalloc(), Jemalloc()):
+            ptr, _ = alloc.malloc(24)
+            with pytest.raises((ValueError, AssertionError)):
+                alloc.sized_free(ptr, 3000)

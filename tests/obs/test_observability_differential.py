@@ -1,0 +1,114 @@
+"""Observability must be free of observer effects: simulation results are
+byte-identical whether tracing/metrics/manifest collection is on or off.
+
+Everything here compares *result* payloads (records, summaries, figure
+data) — never wall times or manifests, which legitimately differ."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.harness.experiments import (
+    compare_workload,
+    compare_workload_sampled,
+    make_baseline,
+    summarize_comparison,
+    summarize_sampled_comparison,
+)
+from repro.harness.runner import run_workload
+from repro.obs.tracer import Tracer, set_tracer, tracing
+from repro.sim.sampling import SamplingConfig
+from repro.workloads import MICROBENCHMARKS
+
+WORKLOAD = "tp_small"
+OPS = 200
+SEED = 11
+
+
+class TestTracingIdentity:
+    def test_run_records_identical_with_tracing(self):
+        wl = MICROBENCHMARKS[WORKLOAD]
+        off = run_workload(make_baseline(), wl.ops(seed=SEED, num_ops=OPS))
+        with tracing():
+            on = run_workload(make_baseline(), wl.ops(seed=SEED, num_ops=OPS))
+        assert on.records == off.records
+        assert on.total_cycles == off.total_cycles
+        assert on.app_cycles == off.app_cycles
+
+    def test_comparison_summary_identical_with_tracing(self):
+        wl = MICROBENCHMARKS[WORKLOAD]
+        off = summarize_comparison(compare_workload(wl, num_ops=OPS, seed=SEED))
+        with tracing():
+            on = summarize_comparison(compare_workload(wl, num_ops=OPS, seed=SEED))
+        assert json.dumps(on, sort_keys=True) == json.dumps(off, sort_keys=True)
+
+    def test_sampled_summary_identical_with_tracing(self):
+        wl = MICROBENCHMARKS[WORKLOAD]
+        cfg = SamplingConfig(interval_ops=100, stride=4)
+        off = summarize_sampled_comparison(
+            compare_workload_sampled(wl, num_ops=600, seed=SEED, sampling=cfg)
+        )
+        with tracing():
+            on = summarize_sampled_comparison(
+                compare_workload_sampled(wl, num_ops=600, seed=SEED, sampling=cfg)
+            )
+        assert json.dumps(on, sort_keys=True) == json.dumps(off, sort_keys=True)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        previous = set_tracer(tracer)
+        try:
+            run_workload(
+                make_baseline(),
+                MICROBENCHMARKS[WORKLOAD].ops(seed=SEED, num_ops=50),
+            )
+        finally:
+            set_tracer(previous)
+        assert len(tracer) == 0
+
+
+class TestResultPayloadsExcludeObservability:
+    def test_manifest_not_in_summary(self):
+        c = compare_workload(MICROBENCHMARKS[WORKLOAD], num_ops=OPS, seed=SEED)
+        assert c.baseline.manifest is not None
+        summary = summarize_comparison(c)
+        assert "manifest" not in json.dumps(summary)
+
+    def test_manifest_excluded_from_result_equality(self):
+        wl = MICROBENCHMARKS[WORKLOAD]
+        a = run_workload(make_baseline(), wl.ops(seed=SEED, num_ops=50))
+        b = run_workload(make_baseline(), wl.ops(seed=SEED, num_ops=50))
+        # Different wall clocks -> different manifests, but the results
+        # compare equal: manifests are provenance, not results.
+        assert a.manifest != b.manifest or a.manifest is None
+        assert a == b
+
+
+_ENV_FLAG_SCRIPT = r"""
+import json
+from repro.harness.experiments import compare_workload, summarize_comparison
+from repro.workloads import MICROBENCHMARKS
+
+c = compare_workload(MICROBENCHMARKS["tp_small"], num_ops=200, seed=11)
+print(json.dumps(summarize_comparison(c), sort_keys=True))
+"""
+
+
+class TestEnvFlagIdentity:
+    def test_repro_obs_trace_env_flag_does_not_change_results(self):
+        outputs = []
+        for flag in ("0", "1"):
+            env = dict(os.environ, REPRO_OBS_TRACE=flag)
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", _ENV_FLAG_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]

@@ -1,0 +1,144 @@
+"""Golden-file test for the Perfetto (Chrome trace-event) export.
+
+A fixed 200-op workload is traced end to end and the exported payload is
+held to the schema: required keys on every event, balanced B/E pairs,
+per-track monotonic timestamps — and the *structure* (event names, phase
+sequence, argument keys) must be byte-stable across ``PYTHONHASHSEED``
+values, since the trace file is a comparison artifact."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.harness.experiments import compare_workload, make_baseline
+from repro.harness.runner import run_workload, run_workload_sampled
+from repro.obs.tracer import iter_spans, tracing, validate_chrome_trace
+from repro.sim.sampling import SamplingConfig
+from repro.workloads import MICROBENCHMARKS
+
+GOLDEN_WORKLOAD = "tp_small"
+GOLDEN_OPS = 200
+GOLDEN_SEED = 7
+
+
+def _traced_comparison():
+    with tracing() as tracer:
+        compare_workload(
+            MICROBENCHMARKS[GOLDEN_WORKLOAD], num_ops=GOLDEN_OPS, seed=GOLDEN_SEED
+        )
+        return tracer.to_chrome_trace(
+            metadata={"workload": GOLDEN_WORKLOAD, "ops": GOLDEN_OPS}
+        )
+
+
+def _structure(payload):
+    """The hashseed-stable skeleton of a trace: everything but timestamps."""
+    return [
+        (ev["name"], ev["ph"], sorted(ev.get("args", {})))
+        for ev in payload["traceEvents"]
+    ]
+
+
+class TestGoldenExport:
+    def test_schema_valid_and_balanced(self):
+        payload = _traced_comparison()
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        for ev in events:
+            for key in ("ph", "ts", "pid", "tid", "name", "cat"):
+                assert key in ev, f"event missing {key}: {ev}"
+        phases = [e["ph"] for e in events]
+        assert phases.count("B") == phases.count("E")
+
+    def test_golden_structure(self):
+        # compare_workload replays the workload twice (baseline, then
+        # mallacc); each replay is exactly one run_workload span.
+        payload = _traced_comparison()
+        assert _structure(payload) == [
+            ("run_workload", "B", ["calls", "workload"]),
+            ("run_workload", "E", []),
+            ("run_workload", "B", ["calls", "workload"]),
+            ("run_workload", "E", []),
+        ]
+        begins = [e for e in payload["traceEvents"] if e["ph"] == "B"]
+        for ev in begins:
+            assert ev["args"]["workload"] == GOLDEN_WORKLOAD
+            # records exclude any warmup prefix, so calls <= the op budget
+            assert 0 < ev["args"]["calls"] <= GOLDEN_OPS
+
+    def test_timestamps_monotonic_and_spans_ordered(self):
+        payload = _traced_comparison()
+        ts = [e["ts"] for e in payload["traceEvents"]]
+        assert ts == sorted(ts)  # single pid/tid here: globally monotonic
+
+    def test_sampled_run_span(self):
+        wl = MICROBENCHMARKS[GOLDEN_WORKLOAD]
+        with tracing() as tracer:
+            run_workload_sampled(
+                make_baseline,
+                wl.ops(seed=GOLDEN_SEED, num_ops=600),
+                config=SamplingConfig(interval_ops=100, stride=4),
+            )
+            spans = iter_spans(tracer.events(), "run_workload_sampled")
+            payload = tracer.to_chrome_trace()
+        assert len(spans) == 1
+        assert dict(spans[0].args)["rounds"] >= 1
+        assert validate_chrome_trace(payload) == []
+
+    def test_plain_run_span_args(self):
+        wl = MICROBENCHMARKS[GOLDEN_WORKLOAD]
+        with tracing() as tracer:
+            result = run_workload(
+                make_baseline(), wl.ops(seed=GOLDEN_SEED, num_ops=GOLDEN_OPS)
+            )
+            (span,) = iter_spans(tracer.events(), "run_workload")
+        assert dict(span.args)["calls"] == len(result.records)
+
+
+_HASHSEED_SCRIPT = r"""
+import json, sys
+from repro.harness.experiments import make_baseline
+from repro.harness.runner import run_workload
+from repro.obs.bridges import run_registry
+from repro.obs.manifest import config_fingerprint
+from repro.obs.tracer import tracing
+from repro.workloads import MICROBENCHMARKS
+
+with tracing() as tracer:
+    result = run_workload(
+        make_baseline(), MICROBENCHMARKS["tp_small"].ops(seed=7, num_ops=200)
+    )
+    payload = tracer.to_chrome_trace(metadata={"workload": "tp_small"})
+structure = [
+    (ev["name"], ev["ph"], sorted(ev.get("args", {})))
+    for ev in payload["traceEvents"]
+]
+print(json.dumps({
+    "structure": structure,
+    "fingerprint": config_fingerprint({"b": [1, 2], "a": {"z": 1, "y": 2}}),
+    "metrics": run_registry(result).to_json(),
+    "total_cycles": result.total_cycles,
+}, sort_keys=True))
+"""
+
+
+class TestHashSeedStability:
+    def test_structure_stable_across_hash_seeds(self):
+        outputs = []
+        for seed in ("0", "1", "401"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", _HASHSEED_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1] == outputs[2]
+        decoded = json.loads(outputs[0])
+        assert decoded["structure"][0][0] == "run_workload"
