@@ -20,6 +20,10 @@ regenerated without writing code:
 * ``trace-record``/``trace-run`` — capture a workload's op stream to a
   trace file and replay a trace (including traces of real applications
   converted to the format in :mod:`repro.workloads.tracefile`);
+* ``traffic``     — open-loop load generation: arrival process × per-request
+  allocation sessions over the multicore machine, reporting p50/p95/p99/p99.9
+  allocation latency per allocator flavor and (``--load-curve``) a
+  throughput-vs-offered-load sweep through the parallel harness;
 * ``report``      — run the whole battery and write a markdown report, or
   diff two run payloads (``--compare A.json B.json``) and exit nonzero on
   regressions beyond ``--threshold``.
@@ -371,6 +375,118 @@ def cmd_profile(args: argparse.Namespace) -> None:
     print(render_profile(summary))
 
 
+def _quantile_str(value) -> str:
+    return "overflow" if value is None else f"{value:.0f}"
+
+
+def cmd_traffic(args: argparse.Namespace) -> None:
+    """Open-loop traffic: tail-latency table per arrival model, optional
+    offered-load sweep (see docs/traffic.md)."""
+    from repro.obs.manifest import collect_manifest
+    from repro.traffic import (
+        OPEN_LOOP_MODELS,
+        TrafficConfig,
+        compare_traffic,
+        traffic_load_curve,
+        traffic_summary,
+    )
+
+    _workload_or_die(args.workload)
+    models = OPEN_LOOP_MODELS if args.arrival == "all" else (args.arrival,)
+    manifest = collect_manifest(
+        {"entry": "cmd_traffic", "workload": args.workload,
+         "arrival": args.arrival, "rps": args.rps,
+         "duration_s": args.duration, "cores": args.cores,
+         "ops_per_request": args.ops_per_request,
+         "cache_entries": args.entries, "clock_hz": args.clock_hz,
+         "sample_stride": args.sample_stride},
+        seed=args.seed,
+    )
+
+    def _config(model: str) -> TrafficConfig:
+        return TrafficConfig(
+            workload=args.workload, arrival=model, rps=args.rps,
+            duration_s=args.duration, clock_hz=args.clock_hz,
+            cores=args.cores, ops_per_request=args.ops_per_request,
+            seed=args.seed, sample_stride=args.sample_stride,
+        )
+
+    arrivals_payload: dict[str, dict] = {}
+    for model in models:
+        comparison = compare_traffic(_config(model), cache_entries=args.entries)
+        summary = traffic_summary(comparison)
+        arrivals_payload[model] = {
+            "summary": summary,
+            "baseline_hist": comparison.baseline.alloc_hist.to_dict(),
+            "mallacc_hist": comparison.mallacc.alloc_hist.to_dict(),
+        }
+        rows = [
+            [flavor]
+            + [_quantile_str(summary[f"{flavor}_{q}"])
+               for q in ("p50", "p95", "p99", "p999")]
+            + [f"{summary[f'{flavor}_mean_alloc_cycles']:.0f}",
+               f"{summary[f'{flavor}_throughput_rps']:.1f}"]
+            for flavor in ("baseline", "mallacc")
+        ]
+        print(render_table(
+            ["alloc", "p50", "p95", "p99", "p99.9", "mean", "rps"],
+            rows,
+            title=(f"{args.workload} @ {model} arrivals, "
+                   f"{args.rps:g} rps offered on {args.cores} cores "
+                   f"({summary['measured_requests']} measured requests): "
+                   f"allocation latency, cycles"),
+        ))
+        print(f"  quantile improvement: "
+              f"p50 {summary['p50_improvement_pct']:+.1f}%  "
+              f"p95 {summary['p95_improvement_pct']:+.1f}%  "
+              f"p99 {summary['p99_improvement_pct']:+.1f}%  "
+              f"p99.9 {summary['p999_improvement_pct']:+.1f}%")
+
+    curve = None
+    if args.load_curve:
+        loads = tuple(float(x) for x in args.load_curve.split(",") if x.strip())
+        curve = traffic_load_curve(
+            _config(models[0]), loads=loads, arrivals=models,
+            cache_entries=args.entries, jobs=args.jobs,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        )
+        rows = [
+            [p["arrival"], f"{p['load']:.2f}", f"{p['offered_rps']:.1f}",
+             f"{p['baseline_throughput_rps']:.1f}",
+             f"{p['mallacc_throughput_rps']:.1f}",
+             _quantile_str(p["baseline_p99"]), _quantile_str(p["mallacc_p99"])]
+            for p in curve["points"]
+        ]
+        print(render_table(
+            ["arrival", "load", "offered", "base rps", "accel rps",
+             "base p99", "accel p99"],
+            rows,
+            title=(f"throughput vs offered load "
+                   f"(capacity {curve['capacity_rps']:.1f} rps)"),
+        ))
+
+    if args.json:
+        payload = {
+            "schema": "repro.traffic/v1",
+            "workload": args.workload,
+            "rps": args.rps,
+            "duration_s": args.duration,
+            "clock_hz": args.clock_hz,
+            "cores": args.cores,
+            "ops_per_request": args.ops_per_request,
+            "seed": args.seed,
+            "cache_entries": args.entries,
+            "sample_stride": args.sample_stride,
+            "arrivals": arrivals_payload,
+            "load_curve": curve,
+            "manifest": manifest.to_dict(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"traffic payload written to {args.json}")
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     if args.compare:
         from repro.obs.compare import compare_payloads, load_payload, render_deltas
@@ -553,6 +669,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--json", action="store_true", help="emit the summary as JSON")
     prof.set_defaults(fn=cmd_profile)
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="open-loop load generation with tail-latency reporting "
+             "(p50/p95/p99/p99.9 allocation latency, load curves)",
+    )
+    traffic.add_argument("workload")
+    traffic.add_argument(
+        "--arrival", default="poisson",
+        choices=("constant", "poisson", "bursty", "diurnal", "all"),
+        help="arrival process; 'all' runs the three open-loop models",
+    )
+    traffic.add_argument(
+        "--rps", type=float, default=200.0,
+        help="offered load, requests per second of simulated time",
+    )
+    traffic.add_argument(
+        "--duration", type=float, default=1.0,
+        help="simulated seconds of arrivals (default 1.0)",
+    )
+    traffic.add_argument(
+        "--cores", type=int, default=4,
+        help="simulated cores sharing the central free lists (default 4)",
+    )
+    traffic.add_argument(
+        "--ops-per-request", type=int, default=24,
+        help="allocator ops per request session (default 24)",
+    )
+    traffic.add_argument("--entries", type=int, default=32, help="malloc cache entries")
+    traffic.add_argument("--seed", type=int, default=1)
+    traffic.add_argument(
+        "--clock-hz", type=float, default=1_000_000.0,
+        help="simulated cycles per second (default 1e6: 1 simulated ms "
+             "= 1000 cycles)",
+    )
+    traffic.add_argument(
+        "--sample-stride", type=int, default=None, metavar="K",
+        help="long horizons: simulate every K-th measured request in "
+             "detail, fast-forward the rest (bootstrap CI on totals)",
+    )
+    traffic.add_argument(
+        "--load-curve", default=None, metavar="LOADS",
+        help="comma-separated load multipliers (fractions of calibrated "
+             "capacity, e.g. '0.2,0.5,0.8,1.1') for a throughput-vs-"
+             "offered-load sweep through the parallel harness",
+    )
+    traffic.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the traffic payload (summaries, latency histograms, "
+             "load curve, manifest) as JSON",
+    )
+    _add_parallel_args(traffic)
+    traffic.set_defaults(fn=cmd_traffic)
 
     rep = sub.add_parser(
         "report",

@@ -38,6 +38,74 @@ _APP_REGION_BYTES = 2 * 1024 * 1024
 """Application streaming region: fits in L3, thrashes L1/L2."""
 
 
+class AppTraffic:
+    """Application cache-line streaming through the shared ring region.
+
+    One instance per replay: every executor (the exact runner, the
+    multithreaded runner, the traffic engine) advances the same cursor so
+    interleaved streams touch the addresses a front-to-back replay would.
+    """
+
+    __slots__ = ("offset",)
+
+    def __init__(self) -> None:
+        self.offset = 0
+
+    def touch(self, hierarchy, lines: int) -> None:
+        hierarchy.touch_lines(_APP_REGION_BASE + self.offset, lines)
+        self.offset = (self.offset + lines * 64) % _APP_REGION_BYTES
+
+
+def dispatch_call(allocator, op: Op, slots: dict[int, int]) -> CallRecord:
+    """Execute one malloc/free/sized-free op against the single-allocator
+    API, maintaining the slot→pointer table.  Shared by :func:`run_workload`
+    and the traffic engine's single-core path, so the engine's degenerate
+    case is bit-identical to the reference runner by construction."""
+    if op.kind is OpKind.MALLOC:
+        if op.slot in slots:
+            raise ValueError(f"workload reused live slot {op.slot}")
+        ptr, record = allocator.malloc(op.size)
+        slots[op.slot] = ptr
+    elif op.kind is OpKind.FREE:
+        if op.slot not in slots:
+            raise ValueError(f"workload freed unknown or dead slot {op.slot}")
+        record = allocator.free(slots.pop(op.slot))
+    elif op.kind is OpKind.FREE_SIZED:
+        if op.slot not in slots:
+            raise ValueError(f"workload freed unknown or dead slot {op.slot}")
+        record = allocator.sized_free(slots.pop(op.slot), op.size)
+    else:  # pragma: no cover - exhaustive over OpKind
+        raise ValueError(f"unknown op kind {op.kind}")
+    return record
+
+
+def dispatch_call_mt(
+    mt_allocator, op: Op, slots: dict[int, int], tid: int | None = None
+) -> CallRecord:
+    """Execute one op against the tid-tagged
+    :class:`~repro.alloc.multithread.MultiThreadAllocator` API.  ``tid``
+    overrides ``op.tid`` (the traffic engine schedules sessions onto cores
+    itself; plain multithreaded replay trusts the stream's tags)."""
+    tid = op.tid if tid is None else tid
+    if op.kind is OpKind.MALLOC:
+        if op.slot in slots:
+            raise ValueError(f"workload reused live slot {op.slot}")
+        ptr, record = mt_allocator.malloc(tid, op.size, warmup=op.warmup)
+        slots[op.slot] = ptr
+    elif op.kind is OpKind.FREE or op.kind is OpKind.FREE_SIZED:
+        if op.slot not in slots:
+            raise ValueError(f"workload freed unknown or dead slot {op.slot}")
+        if op.kind is OpKind.FREE:
+            record = mt_allocator.free(tid, slots.pop(op.slot), warmup=op.warmup)
+        else:
+            record = mt_allocator.sized_free(
+                tid, slots.pop(op.slot), op.size, warmup=op.warmup
+            )
+    else:  # pragma: no cover - exhaustive over OpKind
+        raise ValueError(f"unknown op kind {op.kind}")
+    return record
+
+
 @dataclass
 class RunResult:
     """Everything measured while replaying one workload."""
@@ -218,7 +286,7 @@ def run_workload(
     machine = allocator.machine
     result = RunResult(workload=name)
     slots: dict[int, int] = {}
-    app_offset = 0
+    app = AppTraffic()
     manifest = collect_manifest(
         {"entry": "run_workload", "workload": name,
          "model_app_traffic": model_app_traffic},
@@ -240,26 +308,9 @@ def run_workload(
             if not op.warmup:
                 result.app_cycles += op.gap_cycles
         if op.app_lines and model_app_traffic:
-            machine.hierarchy.touch_lines(
-                _APP_REGION_BASE + app_offset, op.app_lines
-            )
-            app_offset = (app_offset + op.app_lines * 64) % _APP_REGION_BYTES
+            app.touch(machine.hierarchy, op.app_lines)
 
-        if op.kind is OpKind.MALLOC:
-            if op.slot in slots:
-                raise ValueError(f"workload reused live slot {op.slot}")
-            ptr, record = allocator.malloc(op.size)
-            slots[op.slot] = ptr
-        elif op.kind is OpKind.FREE:
-            if op.slot not in slots:
-                raise ValueError(f"workload freed unknown or dead slot {op.slot}")
-            record = allocator.free(slots.pop(op.slot))
-        elif op.kind is OpKind.FREE_SIZED:
-            if op.slot not in slots:
-                raise ValueError(f"workload freed unknown or dead slot {op.slot}")
-            record = allocator.sized_free(slots.pop(op.slot), op.size)
-        else:  # pragma: no cover - exhaustive over OpKind
-            raise ValueError(f"unknown op kind {op.kind}")
+        record = dispatch_call(allocator, op, slots)
 
         if op.warmup:
             result.warmup_calls += 1
@@ -838,8 +889,6 @@ def run_multithreaded(
     ``op.app_lines`` streams application traffic through the issuing
     thread's core hierarchy when ``model_app_traffic`` is on.
     """
-    from repro.workloads.base import OpKind as _OpKind
-
     result = MultiThreadRunResult(workload=name)
     slots: dict[int, int] = {}
     machines = getattr(mt_allocator, "core_machines", [mt_allocator.machine])
@@ -853,9 +902,9 @@ def run_multithreaded(
     cache_before = _cache_snapshots(machines)
     intern_before = _intern_snapshots(machines)
     prof_state = _profiler_begin(profiler, machines)
-    app_offset = 0
+    app = AppTraffic()
     for op in ops:
-        if op.kind is _OpKind.ANTAGONIZE:
+        if op.kind is OpKind.ANTAGONIZE:
             # Evict every core's private caches (and the shared L3, in
             # coherent mode) exactly once — not just core 0's.
             antagonize = getattr(mt_allocator, "antagonize", None)
@@ -871,24 +920,8 @@ def run_multithreaded(
                 result.app_cycles += op.gap_cycles
         if op.app_lines and model_app_traffic:
             core = machines[op.tid] if op.tid < len(machines) else machines[0]
-            core.hierarchy.touch_lines(_APP_REGION_BASE + app_offset, op.app_lines)
-            app_offset = (app_offset + op.app_lines * 64) % _APP_REGION_BYTES
-        if op.kind is _OpKind.MALLOC:
-            if op.slot in slots:
-                raise ValueError(f"workload reused live slot {op.slot}")
-            ptr, record = mt_allocator.malloc(op.tid, op.size, warmup=op.warmup)
-            slots[op.slot] = ptr
-        elif op.kind in (_OpKind.FREE, _OpKind.FREE_SIZED):
-            if op.slot not in slots:
-                raise ValueError(f"workload freed unknown or dead slot {op.slot}")
-            if op.kind is _OpKind.FREE:
-                record = mt_allocator.free(op.tid, slots.pop(op.slot), warmup=op.warmup)
-            else:
-                record = mt_allocator.sized_free(
-                    op.tid, slots.pop(op.slot), op.size, warmup=op.warmup
-                )
-        else:  # pragma: no cover - exhaustive
-            raise ValueError(f"unknown op kind {op.kind}")
+            app.touch(core.hierarchy, op.app_lines)
+        record = dispatch_call_mt(mt_allocator, op, slots)
         if op.warmup:
             result.warmup_calls += 1
             result.warmup_cycles += record.cycles

@@ -12,7 +12,10 @@ these adapters lift them into one registry after the fact, which is how the
 * :func:`stats_registry` — a ``TraceCacheStats``/``TraceInternStats``
   hits/misses/evictions carrier;
 * :func:`matrix_registry` — re-hydrates and merges the per-cell registries
-  a matrix run serialized into its checkpoints.
+  a matrix run serialized into its checkpoints;
+* :func:`traffic_registry` — a
+  :class:`~repro.traffic.engine.TrafficResult`, including its latency
+  histograms (bucket-exact: merged shards reproduce serial percentiles).
 
 All of them accept an existing registry to accumulate into, plus extra
 labels (``alloc="baseline"``) to keep series from different runs of the
@@ -87,6 +90,33 @@ def stats_registry(
     reg.counter(f"{name}_misses", **labels).inc(stats.misses)
     if hasattr(stats, "evictions"):
         reg.counter(f"{name}_evictions", **labels).inc(stats.evictions)
+    return reg
+
+
+def traffic_registry(
+    result, registry: MetricsRegistry | None = None, **labels: object
+) -> MetricsRegistry:
+    """Lift one :class:`~repro.traffic.engine.TrafficResult` into a
+    registry: request/call counters plus the allocation-latency and sojourn
+    histograms as native registry histograms (identical bucket layout, so
+    sharded cells merge into exactly the serial percentiles)."""
+    reg = registry if registry is not None else MetricsRegistry()
+    labels.setdefault("workload", result.workload)
+    labels.setdefault("arrival", result.config.arrival)
+    reg.counter("requests", **labels).inc(result.completed)
+    reg.counter("warmup_requests", **labels).inc(result.warmup_requests)
+    reg.counter("detailed_requests", **labels).inc(result.detailed_requests)
+    reg.counter("skipped_requests", **labels).inc(result.skipped_requests)
+    reg.counter("calls", **labels).inc(result.calls)
+    reg.counter("warmup_calls", **labels).inc(result.warmup_calls)
+    reg.counter("alloc_cycles", **labels).inc(result.alloc_cycles)
+    reg.counter("app_cycles", **labels).inc(result.app_cycles)
+    reg.counter("contention_cycles", **labels).inc(result.contention_cycles)
+    reg.counter("context_switches", **labels).inc(result.context_switches)
+    reg.gauge("throughput_rps", **labels).set(result.throughput_rps)
+    reg.gauge("offered_rps", **labels).set(result.offered_rps)
+    result.alloc_hist.to_registry(reg, "request_alloc_cycles", **labels)
+    result.sojourn_hist.to_registry(reg, "request_sojourn_cycles", **labels)
     return reg
 
 

@@ -1,0 +1,71 @@
+"""Service-scale traffic engine: open-loop load over the machine model.
+
+The paper's setting is warehouse-scale request serving — malloc latency
+matters because it sits on the critical path of millions of requests per
+second.  This package models that setting directly: arrival processes
+(:mod:`~repro.traffic.arrivals`) timestamp requests, each request is an
+allocation session drawn from a workload family
+(:mod:`~repro.traffic.sessions`), a deterministic scheduler multiplexes
+the sessions onto N simulated cores sharing central free lists
+(:mod:`~repro.traffic.engine`), and per-request allocation latency lands
+in mergeable fixed-bucket histograms (:mod:`~repro.traffic.latency`) with
+p50/p95/p99/p99.9 and throughput-vs-offered-load curves as the first-class
+outputs.  See docs/traffic.md.
+"""
+
+from repro.traffic.arrivals import (
+    ARRIVAL_MODELS,
+    OPEN_LOOP_MODELS,
+    arrival_times,
+    dispersion_index,
+    interarrival_stats,
+)
+from repro.traffic.engine import (
+    RequestRecord,
+    TrafficCell,
+    TrafficComparison,
+    TrafficConfig,
+    TrafficResult,
+    build_load_matrix,
+    build_sessions,
+    compare_traffic,
+    estimate_capacity_rps,
+    run_traffic,
+    run_traffic_cell,
+    traffic_load_curve,
+    traffic_summary,
+)
+from repro.traffic.latency import DEFAULT_LATENCY_BOUNDS, LatencyHistogram
+from repro.traffic.sessions import (
+    Session,
+    independent_sessions,
+    request_seed,
+    stream_sessions,
+)
+
+__all__ = [
+    "ARRIVAL_MODELS",
+    "DEFAULT_LATENCY_BOUNDS",
+    "LatencyHistogram",
+    "OPEN_LOOP_MODELS",
+    "RequestRecord",
+    "Session",
+    "TrafficCell",
+    "TrafficComparison",
+    "TrafficConfig",
+    "TrafficResult",
+    "arrival_times",
+    "build_load_matrix",
+    "build_sessions",
+    "compare_traffic",
+    "dispersion_index",
+    "estimate_capacity_rps",
+    "independent_sessions",
+    "interarrival_stats",
+    "request_seed",
+    "run_traffic",
+    "run_traffic_cell",
+    "stream_sessions",
+    "traffic_load_curve",
+    "traffic_summary",
+]

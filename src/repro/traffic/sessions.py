@@ -1,0 +1,115 @@
+"""Per-request allocation sessions drawn from the workload families.
+
+A *session* is the allocation work of one request: a short op stream
+(mallocs, frees, application gaps) that the scheduler executes on one
+simulated core.  Two sources:
+
+* :func:`independent_sessions` — every request draws a fresh stream from
+  the workload family with a crc32-derived per-request seed.  Slots are
+  remapped into a globally unique range so thousands of concurrent
+  sessions can share one slot table, warmup flags are rewritten at the
+  session level (the family's own warmup prefix would swallow a whole
+  32-op request), and leftover live objects are freed at teardown (the
+  request-scoped arena idiom) unless the profile leaks by design.
+* :func:`stream_sessions` — consecutive chunks of ONE continuous
+  ``workload.ops`` stream, no remapping, no teardown.  Chunks carry
+  cross-session slot dependencies, so this mode is only valid for
+  sequential single-core execution — it exists to make the engine's
+  degenerate case (1 core, constant arrivals) bit-identical to
+  :func:`repro.harness.runner.run_workload` on the same stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+
+from repro.workloads.base import Op, OpKind, Workload
+
+
+@dataclass(frozen=True)
+class Session:
+    """One request's op stream, scheduling metadata attached later."""
+
+    index: int
+    ops: tuple[Op, ...]
+    warmup: bool = False
+    """Warmup sessions execute fully (they train caches and pools) but are
+    excluded from the latency histograms and measured totals."""
+
+
+def request_seed(workload_name: str, base_seed: int, index: int) -> int:
+    """Deterministic per-request seed (crc32, never ``hash()``)."""
+    key = f"{workload_name}/req{index}".encode()
+    return (base_seed + zlib.crc32(key)) % (2**31 - 1)
+
+
+def independent_sessions(
+    workload: Workload,
+    num_requests: int,
+    ops_per_request: int,
+    seed: int,
+    warmup_requests: int = 0,
+    teardown_free: bool = True,
+) -> list[Session]:
+    """Self-contained per-request sessions (see module docstring)."""
+    if num_requests < 0:
+        raise ValueError("num_requests cannot be negative")
+    if ops_per_request < 1:
+        raise ValueError("need at least one op per request")
+    sessions: list[Session] = []
+    next_slot_base = 0
+    for i in range(num_requests):
+        warm = i < warmup_requests
+        raw = workload.ops(
+            seed=request_seed(workload.name, seed, i), num_ops=ops_per_request
+        )
+        ops: list[Op] = []
+        live: dict[int, int] = {}  # global slot -> size, insertion order
+        max_local = -1
+        for op in raw:
+            if op.kind is OpKind.ANTAGONIZE:
+                ops.append(replace(op, warmup=warm))
+                continue
+            gslot = next_slot_base + op.slot
+            ops.append(replace(op, slot=gslot, warmup=warm, tid=0))
+            if op.kind is OpKind.MALLOC:
+                live[gslot] = op.size
+                if op.slot > max_local:
+                    max_local = op.slot
+            else:
+                live.pop(gslot, None)
+        if teardown_free:
+            # Request teardown: release whatever the request left live, in
+            # allocation order (dict preserves insertion order — no hash
+            # iteration, so teardown is PYTHONHASHSEED-stable).
+            for gslot, size in live.items():
+                ops.append(
+                    Op(OpKind.FREE, size=size, slot=gslot, warmup=warm)
+                )
+        next_slot_base += max_local + 1
+        sessions.append(Session(index=i, ops=tuple(ops), warmup=warm))
+    return sessions
+
+
+def stream_sessions(
+    workload: Workload,
+    total_ops: int,
+    ops_per_request: int,
+    seed: int,
+) -> list[Session]:
+    """Chunk one continuous stream into sessions (degenerate mode)."""
+    if ops_per_request < 1:
+        raise ValueError("need at least one op per request")
+    raw = list(workload.ops(seed=seed, num_ops=total_ops))
+    sessions = []
+    for i, start in enumerate(range(0, len(raw), ops_per_request)):
+        chunk = tuple(raw[start:start + ops_per_request])
+        sessions.append(
+            Session(
+                index=i,
+                ops=chunk,
+                warmup=any(op.warmup for op in chunk),
+            )
+        )
+    return sessions

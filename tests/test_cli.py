@@ -85,3 +85,42 @@ class TestCli:
         assert "# Mallacc reproduction report" in text
         assert "geomean" in text
         assert "Figure 17" in text
+        assert "Open-loop traffic" in text
+        assert "Throughput vs offered load" in text
+
+    def test_traffic(self, capsys):
+        out = run_cli(
+            capsys, "traffic", "xapian.abstracts", "--arrival", "poisson",
+            "--rps", "100", "--duration", "0.4", "--cores", "2", "--seed", "7",
+        )
+        assert "allocation latency" in out
+        assert "p99.9" in out
+        assert "quantile improvement" in out
+        assert "baseline" in out and "mallacc" in out
+
+    def test_traffic_all_arrivals_json(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "traffic.json"
+        out = run_cli(
+            capsys, "traffic", "xapian.abstracts", "--arrival", "all",
+            "--rps", "80", "--duration", "0.3", "--cores", "2", "--seed", "3",
+            "--json", str(out_file),
+        )
+        assert "traffic payload written" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["schema"] == "repro.traffic/v1"
+        assert sorted(payload["arrivals"]) == ["bursty", "diurnal", "poisson"]
+
+    def test_traffic_load_curve(self, capsys):
+        out = run_cli(
+            capsys, "traffic", "gauss", "--arrival", "poisson",
+            "--rps", "80", "--duration", "0.3", "--cores", "2", "--seed", "3",
+            "--load-curve", "0.4,0.9",
+        )
+        assert "throughput vs offered load" in out
+        assert "capacity" in out
+
+    def test_traffic_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["traffic", "nonsense"])

@@ -1,0 +1,143 @@
+"""Statistical property tests for the arrival generators.
+
+Each process is checked against its defining statistics over several
+seeds: inter-arrival mean within tolerance of 1/rate for every model,
+coefficient of variation ≈0 (constant), ≈1 (poisson), >1 (bursty), and a
+chi-square-style index-of-dispersion sanity check for the Poisson stream
+using the pure-python normal quantile from :mod:`repro.sim.sampling`
+(the dispersion index of K window counts is ≈ χ²(K-1)/(K-1), whose
+normal approximation has mean 1 and sd sqrt(2/(K-1))).
+"""
+
+import math
+
+import pytest
+
+from repro.sim.sampling import normal_quantile
+from repro.traffic.arrivals import (
+    ARRIVAL_MODELS,
+    arrival_times,
+    dispersion_index,
+    interarrival_stats,
+)
+
+CLOCK = 1_000_000.0
+SEEDS = (1, 7, 23, 101)
+
+
+def _gaps(model, rate, duration, seed):
+    times = arrival_times(model, rate, duration, CLOCK, seed=seed)
+    assert times == sorted(times), "arrivals must be non-decreasing"
+    assert all(t >= 0 for t in times)
+    return times
+
+
+class TestInterarrivalMean:
+    @pytest.mark.parametrize("model", ARRIVAL_MODELS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mean_matches_offered_rate(self, model, seed):
+        """Long-run mean inter-arrival ≈ clock/rate for every process —
+        bursty and diurnal modulate the rate but preserve its mean.
+        Tolerance tracks each model's count variance at ~4000 arrivals:
+        the MMPP's slow state sojourns leave ~5% standard error where the
+        memoryless streams sit under 2%."""
+        rate = 200.0
+        times = _gaps(model, rate, duration=20.0, seed=seed)
+        mean, _cv = interarrival_stats(times)
+        expected = CLOCK / rate
+        tolerance = 0.15 if model == "bursty" else 0.05
+        assert mean == pytest.approx(expected, rel=tolerance)
+
+    @pytest.mark.parametrize("model", ARRIVAL_MODELS)
+    def test_count_tracks_duration(self, model):
+        rate, duration = 150.0, 10.0
+        times = _gaps(model, rate, duration, seed=3)
+        tolerance = 0.2 if model == "bursty" else 0.1
+        assert len(times) == pytest.approx(rate * duration, rel=tolerance)
+
+
+class TestCoefficientOfVariation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_constant_cv_zero(self, seed):
+        times = _gaps("constant", 100.0, 5.0, seed)
+        _mean, cv = interarrival_stats(times)
+        assert cv < 0.01
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_poisson_cv_near_one(self, seed):
+        times = _gaps("poisson", 300.0, 20.0, seed)
+        _mean, cv = interarrival_stats(times)
+        assert 0.9 < cv < 1.1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bursty_cv_above_one(self, seed):
+        """MMPP-2 is overdispersed: gaps mix two exponential rates."""
+        times = _gaps("bursty", 300.0, 20.0, seed)
+        _mean, cv = interarrival_stats(times)
+        assert cv > 1.1
+
+    def test_bursty_more_dispersed_than_poisson(self):
+        """Window counts, not just gaps: the burst state piles arrivals
+        into windows, inflating the index of dispersion."""
+        poisson = _gaps("poisson", 300.0, 20.0, seed=5)
+        bursty = _gaps("bursty", 300.0, 20.0, seed=5)
+        assert dispersion_index(bursty, 50) > dispersion_index(poisson, 50)
+
+
+class TestDispersionChiSquare:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_poisson_dispersion_within_chi_square_band(self, seed):
+        """Chi-square sanity check: for Poisson arrivals the index of
+        dispersion of K window counts is ≈ χ²(K-1)/(K-1).  With K=100 the
+        normal approximation gives mean 1, sd sqrt(2/99); accept within
+        ±z(0.995) — a two-sided 1% test per seed."""
+        k = 100
+        times = _gaps("poisson", 400.0, 20.0, seed)
+        index = dispersion_index(times, k)
+        z = normal_quantile(0.995)
+        band = z * math.sqrt(2.0 / (k - 1))
+        assert abs(index - 1.0) < band, (
+            f"dispersion {index:.3f} outside Poisson band ±{band:.3f}"
+        )
+
+    def test_constant_underdispersed(self):
+        times = _gaps("constant", 400.0, 10.0, seed=1)
+        assert dispersion_index(times, 50) < 0.2
+
+
+class TestDeterminismAndValidation:
+    @pytest.mark.parametrize("model", ARRIVAL_MODELS)
+    def test_same_seed_same_stream(self, model):
+        a = arrival_times(model, 120.0, 3.0, CLOCK, seed=9)
+        b = arrival_times(model, 120.0, 3.0, CLOCK, seed=9)
+        assert a == b
+
+    @pytest.mark.parametrize("model", ARRIVAL_MODELS)
+    def test_seeds_decorrelate(self, model):
+        a = arrival_times(model, 120.0, 3.0, CLOCK, seed=1)
+        b = arrival_times(model, 120.0, 3.0, CLOCK, seed=2)
+        if model == "constant":
+            assert a == b  # seed-free by construction
+        else:
+            assert a != b
+
+    def test_num_requests_cuts_exactly(self):
+        times = arrival_times("poisson", 50.0, 1.0, CLOCK, seed=4,
+                              num_requests=17)
+        assert len(times) == 17
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival model"):
+            arrival_times("sawtooth", 10.0, 1.0, CLOCK, seed=1)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate must be positive"):
+            arrival_times("poisson", 0.0, 1.0, CLOCK, seed=1)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration must be positive"):
+            arrival_times("poisson", 10.0, 0.0, CLOCK, seed=1)
+
+    def test_empty_stats_are_zero(self):
+        assert interarrival_stats([]) == (0.0, 0.0)
+        assert dispersion_index([], 10) == 0.0

@@ -1,0 +1,144 @@
+"""Property tests for the latency histogram / percentile path.
+
+The three properties the tail-latency tables rest on:
+
+* quantile monotonicity — p50 ≤ p95 ≤ p99 ≤ p99.9 for any stream;
+* merge exactness — percentiles of sharded-then-merged histograms equal
+  the serial histogram *exactly* (this is what makes offered-load sweep
+  cells in worker processes trustworthy);
+* conservation — every observation lands in exactly one bucket, so
+  requests in == requests recorded.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.traffic.latency import DEFAULT_LATENCY_BOUNDS, LatencyHistogram
+
+latencies = st.lists(
+    st.integers(min_value=0, max_value=2 * 10**9), min_size=0, max_size=300
+)
+
+
+@given(latencies)
+@settings(max_examples=60)
+def test_quantiles_monotone(values):
+    hist = LatencyHistogram()
+    for v in values:
+        hist.observe(v)
+    assert hist.p50 <= hist.p95 <= hist.p99 <= hist.p999
+
+
+@given(latencies, st.integers(min_value=1, max_value=7))
+@settings(max_examples=60)
+def test_merged_shards_equal_serial_exactly(values, shards):
+    """Shard the stream round-robin, merge the shard histograms, and the
+    result is *identical* to the serial histogram — counts, sum, and every
+    percentile."""
+    serial = LatencyHistogram()
+    parts = [LatencyHistogram() for _ in range(shards)]
+    for i, v in enumerate(values):
+        serial.observe(v)
+        parts[i % shards].observe(v)
+    merged = parts[0]
+    for part in parts[1:]:
+        merged.merge(part)
+    assert merged == serial
+    for q in (0.5, 0.9, 0.95, 0.99, 0.999, 1.0):
+        assert merged.percentile(q) == serial.percentile(q)
+
+
+@given(latencies)
+@settings(max_examples=60)
+def test_conservation(values):
+    """Requests in == requests recorded: the count, the bucket-count sum,
+    and the exact value sum all agree with the input stream."""
+    hist = LatencyHistogram()
+    for v in values:
+        hist.observe(v)
+    assert hist.count == len(values)
+    assert sum(hist.counts) == len(values)
+    assert hist.sum == sum(values)
+
+
+@given(latencies)
+@settings(max_examples=40)
+def test_percentile_conservative(values):
+    """A reported percentile never under-reports: at least ceil(q*n)
+    observations are <= the reported bucket edge."""
+    hist = LatencyHistogram()
+    for v in values:
+        hist.observe(v)
+    if not values:
+        return
+    for q in (0.5, 0.95, 0.99):
+        edge = hist.percentile(q)
+        at_or_below = sum(1 for v in values if v <= edge)
+        rank = int(q * len(values))
+        if rank < q * len(values):
+            rank += 1
+        assert at_or_below >= max(1, rank)
+
+
+@given(latencies)
+@settings(max_examples=30)
+def test_round_trips_through_dict(values):
+    hist = LatencyHistogram()
+    for v in values:
+        hist.observe(v)
+    assert LatencyHistogram.from_dict(hist.to_dict()) == hist
+
+
+def test_empty_histogram_quantiles_zero():
+    hist = LatencyHistogram()
+    assert hist.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0,
+                                  "p999": 0.0}
+    assert hist.mean == 0.0
+
+
+def test_overflow_reports_inf():
+    hist = LatencyHistogram(bounds=(10, 100))
+    hist.observe(5000)
+    assert hist.p50 == float("inf")
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError, match="cannot be negative"):
+        LatencyHistogram().observe(-1)
+
+
+def test_bad_quantile_rejected():
+    hist = LatencyHistogram()
+    for q in (0.0, -0.5, 1.5):
+        with pytest.raises(ValueError, match="q must be in"):
+            hist.percentile(q)
+
+
+def test_bad_bounds_rejected():
+    for bounds in ((), (10, 10), (100, 10)):
+        with pytest.raises(ValueError, match="sorted and distinct"):
+            LatencyHistogram(bounds=bounds)
+
+
+def test_merge_bounds_mismatch_rejected():
+    with pytest.raises(ValueError, match="different bounds"):
+        LatencyHistogram(bounds=(1, 2)).merge(LatencyHistogram(bounds=(1, 3)))
+
+
+def test_registry_bridge_matches_layout():
+    """to_registry lands in a MetricsRegistry histogram with the identical
+    bucket layout, counts and sum included."""
+    hist = LatencyHistogram()
+    for v in (5, 50, 500, 5_000, 5 * 10**9):
+        hist.observe(v)
+    reg = MetricsRegistry()
+    hist.to_registry(reg, "request_alloc_cycles", alloc="baseline")
+    metric = reg.histogram(
+        "request_alloc_cycles", buckets=DEFAULT_LATENCY_BOUNDS,
+        alloc="baseline",
+    )
+    assert metric.counts == hist.counts
+    assert metric.count == hist.count
+    assert metric.sum == float(hist.sum)

@@ -1,0 +1,115 @@
+"""Golden-file test for the ``repro traffic --json`` payload.
+
+A seed-pinned small run is held to the schema (mirroring the Perfetto
+golden-file pattern): required keys at every level, histogram layout,
+manifest presence — and the *science* subtree (everything except the
+host-dependent manifest) must be byte-stable across processes and
+``PYTHONHASHSEED`` values, since the payload is a comparison artifact fed
+to ``repro report --compare``-style tooling and CI diffing.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.cli import main
+from repro.traffic.latency import DEFAULT_LATENCY_BOUNDS
+
+GOLDEN_ARGS = [
+    "traffic", "xapian.abstracts", "--arrival", "all",
+    "--rps", "100", "--duration", "0.4", "--cores", "2", "--seed", "7",
+]
+
+SUMMARY_KEYS = {
+    "offered_rps", "requests", "measured_requests", "warmup_requests",
+} | {
+    f"{flavor}_{metric}"
+    for flavor in ("baseline", "mallacc")
+    for metric in ("throughput_rps", "alloc_cycles", "mean_alloc_cycles",
+                   "contention_cycles", "p50", "p95", "p99", "p999")
+} | {f"{q}_improvement_pct" for q in ("p50", "p95", "p99", "p999")}
+
+
+def _payload(tmp_path):
+    out = tmp_path / "traffic.json"
+    main(GOLDEN_ARGS + ["--json", str(out)])
+    with open(out) as fh:
+        return json.load(fh)
+
+
+class TestGoldenSchema:
+    def test_top_level_schema(self, tmp_path):
+        payload = _payload(tmp_path)
+        assert payload["schema"] == "repro.traffic/v1"
+        for key in ("workload", "rps", "duration_s", "clock_hz", "cores",
+                    "ops_per_request", "seed", "cache_entries",
+                    "sample_stride", "arrivals", "load_curve", "manifest"):
+            assert key in payload, f"payload missing {key}"
+        assert payload["workload"] == "xapian.abstracts"
+        assert payload["load_curve"] is None  # not requested
+        assert payload["manifest"], "manifest must carry provenance"
+
+    def test_arrival_sections(self, tmp_path):
+        payload = _payload(tmp_path)
+        assert sorted(payload["arrivals"]) == ["bursty", "diurnal", "poisson"]
+        for section in payload["arrivals"].values():
+            summary = section["summary"]
+            assert SUMMARY_KEYS <= set(summary), (
+                f"summary missing {SUMMARY_KEYS - set(summary)}"
+            )
+            assert summary["requests"] > 0
+            assert (summary["warmup_requests"]
+                    + summary["measured_requests"]) == summary["requests"]
+            for hist_key in ("baseline_hist", "mallacc_hist"):
+                hist = section[hist_key]
+                assert hist["bounds"] == list(DEFAULT_LATENCY_BOUNDS)
+                assert len(hist["counts"]) == len(hist["bounds"]) + 1
+                assert sum(hist["counts"]) == hist["count"]
+                assert hist["count"] == summary["measured_requests"]
+
+    def test_quantiles_ordered_in_payload(self, tmp_path):
+        payload = _payload(tmp_path)
+        for section in payload["arrivals"].values():
+            s = section["summary"]
+            for flavor in ("baseline", "mallacc"):
+                quantiles = [s[f"{flavor}_{q}"]
+                             for q in ("p50", "p95", "p99", "p999")]
+                finite = [q for q in quantiles if q is not None]
+                assert finite == sorted(finite)
+
+
+_HASHSEED_SCRIPT = r"""
+import json, sys, tempfile, os
+from repro.cli import main
+
+out = os.path.join(tempfile.mkdtemp(), "traffic.json")
+main(["traffic", "xapian.abstracts", "--arrival", "all",
+      "--rps", "100", "--duration", "0.4", "--cores", "2", "--seed", "7",
+      "--json", out])
+with open(out) as fh:
+    payload = json.load(fh)
+payload.pop("manifest")  # host/time-dependent provenance, not science
+print(json.dumps(payload, sort_keys=True))
+"""
+
+
+class TestHashSeedStability:
+    def test_payload_byte_identical_across_hash_seeds(self):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(__file__))
+        )
+        outputs = []
+        for seed in ("0", "1", "401"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", _HASHSEED_SCRIPT],
+                capture_output=True, text=True, env=env, cwd=repo_root,
+                timeout=240,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout.splitlines()[-1])
+        assert outputs[0] == outputs[1] == outputs[2], (
+            "traffic JSON payload varies with PYTHONHASHSEED"
+        )
