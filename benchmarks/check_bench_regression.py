@@ -42,8 +42,9 @@ def check(root: Path) -> int:
             continue
         gate = TOLERANCE * floor
         if payload.get("speedup_asserted") is False:
+            cpus = payload.get("cpus_affinity", payload.get("cpus"))
             print(f"SKIP {name}: speedup {speedup:.2f}x not asserted by the "
-                  f"bench (cpus={payload.get('cpus')}, "
+                  f"bench (usable cpus={cpus}, "
                   f"ops={payload.get('ops_per_workload')})")
             continue
         verdict = "ok" if speedup >= gate else "REGRESSION"

@@ -15,6 +15,7 @@ machines, so the only difference is the accelerator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from repro.alloc.allocator import TCMalloc
 from repro.alloc.constants import AllocatorConfig
@@ -30,7 +31,7 @@ from repro.harness.runner import (
 )
 from repro.sim.sampling import SamplingConfig, bootstrap_metric_ci
 from repro.sim.uop import LIMIT_STUDY_TAGS
-from repro.workloads.base import Workload
+from repro.workloads.base import Op, Workload
 
 LIMIT_ABLATION = "limit"
 
@@ -128,6 +129,7 @@ def compare_workload(
     model_app_traffic: bool = True,
     memoize_traces: bool | None = None,
     intern_traces: bool | None = None,
+    ops: Sequence[Op] | None = None,
 ) -> WorkloadComparison:
     """Run one workload under baseline and Mallacc and compare.
 
@@ -138,8 +140,15 @@ def compare_workload(
     Results are bit-identical under any combination — the differential
     sweeps in ``tests/integration/test_trace_cache_differential.py`` and
     ``tests/integration/test_hot_path_differential.py`` enforce it.
+
+    ``ops`` injects a pre-generated stream instead of generating one from
+    ``(seed, num_ops)`` — it must equal ``list(workload.ops(seed=seed,
+    num_ops=num_ops))`` for the result to be meaningful.  The parallel
+    harness uses this to share one read-only stream across the cells of a
+    workload family (:mod:`repro.sim.warm`); the stream is deterministic, so
+    injection is invisible to results.
     """
-    ops = list(workload.ops(seed=seed, num_ops=num_ops))
+    ops = list(workload.ops(seed=seed, num_ops=num_ops)) if ops is None else list(ops)
 
     baseline_alloc = make_baseline(
         config=config, memoize_traces=memoize_traces, intern_traces=intern_traces
@@ -343,6 +352,7 @@ def compare_workload_sampled(
     cache_config: MallocCacheConfig | None = None,
     model_app_traffic: bool = True,
     sampling: SamplingConfig | None = None,
+    ops: Sequence[Op] | None = None,
 ) -> SampledComparison:
     """Sampled counterpart of :func:`compare_workload`.
 
@@ -353,9 +363,10 @@ def compare_workload_sampled(
     until the program-speedup CI half-width is at most ``target_ci``
     percentage points (or the plan is saturated / ``max_rounds`` reached).
     Per-run adaptive refinement is disabled — pairing requires both sides
-    to see the same intervals.
+    to see the same intervals.  ``ops`` injects a pre-generated stream, as
+    in :func:`compare_workload`.
     """
-    ops = list(workload.ops(seed=seed, num_ops=num_ops))
+    ops = list(workload.ops(seed=seed, num_ops=num_ops)) if ops is None else list(ops)
     cfg = sampling or SamplingConfig()
 
     def baseline_factory() -> TCMalloc:

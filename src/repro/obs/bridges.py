@@ -15,7 +15,9 @@ these adapters lift them into one registry after the fact, which is how the
   a matrix run serialized into its checkpoints;
 * :func:`traffic_registry` — a
   :class:`~repro.traffic.engine.TrafficResult`, including its latency
-  histograms (bucket-exact: merged shards reproduce serial percentiles).
+  histograms (bucket-exact: merged shards reproduce serial percentiles);
+* :func:`warm_registry` — a fork-server warm-bank summary
+  (``MatrixStats.warm``), kept out of the byte-compared per-cell metrics.
 
 All of them accept an existing registry to accumulate into, plus extra
 labels (``alloc="baseline"``) to keep series from different runs of the
@@ -126,3 +128,23 @@ def matrix_registry(payloads: Iterable[Mapping]) -> MetricsRegistry:
     return MetricsRegistry.merged(
         MetricsRegistry.from_dict(p) for p in payloads if p
     )
+
+
+def warm_registry(
+    warm: Mapping[str, int],
+    registry: MetricsRegistry | None = None,
+    **labels: object,
+) -> MetricsRegistry:
+    """Lift a warm-bank summary (``MatrixStats.warm`` or
+    :meth:`repro.sim.warm.WarmBank.summary`) into a registry.
+
+    Deliberately a *separate* bridge from the per-cell path: warm-bank
+    telemetry describes the harness, not the science, and must never be
+    merged into ``CellResult.metrics`` — the pooled per-cell registry is
+    byte-compared serial-vs-sharded, and serial runs have no bank."""
+    reg = registry if registry is not None else MetricsRegistry()
+    for key in ("schedule_hits", "template_hits", "stream_hits"):
+        reg.counter(f"warm_{key}", **labels).inc(int(warm.get(key, 0)))
+    for key in ("schedules", "templates", "streams"):
+        reg.gauge(f"warm_{key}", **labels).set(int(warm.get(key, 0)))
+    return reg

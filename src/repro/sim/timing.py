@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.sim import warm as _warm
 from repro.sim.trace_cache import DEFAULT_TRACE_CACHE_ENTRIES, TraceCache, TraceCacheStats
 from repro.sim.uop import Tag, Trace, UopKind
 
@@ -110,7 +111,13 @@ class TimingModel:
         key = trace.fingerprint_key()
         result = cache.get(key)
         if result is None:
-            result = self._schedule(trace)
+            # The miss is recorded; a fork-server warm bank (repro.sim.warm)
+            # may still supply the shared result — _schedule is a pure
+            # function of the fingerprint, so banked and fresh results are
+            # bit-equal and telemetry is untouched.
+            result = _warm.lookup_schedule(key)
+            if result is None:
+                result = self._schedule(trace)
             cache.put(key, result)
         return result
 
@@ -128,7 +135,9 @@ class TimingModel:
         key = (trace.fingerprint_key(), tags)
         result = cache.get(key)
         if result is None:
-            result = self._schedule(trace.without_tags(tags))
+            result = _warm.lookup_schedule(key)
+            if result is None:
+                result = self._schedule(trace.without_tags(tags))
             cache.put(key, result)
         return result
 

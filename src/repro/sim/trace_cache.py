@@ -109,3 +109,9 @@ class TraceCache:
     def clear(self) -> None:
         """Drop all entries (stats are kept; they describe the lifetime)."""
         self._entries.clear()
+
+    def export_entries(self) -> dict[Hashable, Any]:
+        """A shallow copy of the live entries, for harvesting into a
+        :class:`repro.sim.warm.WarmBank`.  Values are the shared immutable
+        ``TimingResult`` objects — safe to hand to other caches."""
+        return dict(self._entries)

@@ -12,16 +12,20 @@ from dataclasses import replace
 import pytest
 
 from repro.harness.parallel import (
+    MAX_BATCH_CELLS,
     CellResult,
     SweepCell,
+    auto_batch_size,
     build_matrix,
     checkpoint_path,
     derive_seed,
     load_checkpoint,
     matrix_figure_data,
     matrix_to_json,
+    plan_batches,
     run_matrix,
     write_checkpoint,
+    write_checkpoints,
 )
 
 
@@ -117,6 +121,71 @@ class TestCheckpoints:
         assert [p.name for p in tmp_path.iterdir()] == [
             f"{CELLS[0].cell_id}.json"
         ]
+
+
+class TestBatchPlanning:
+    def test_auto_size_one_wave_per_worker(self):
+        assert auto_batch_size(8, 4) == 2
+        assert auto_batch_size(9, 4) == 3
+        assert auto_batch_size(3, 4) == 1
+
+    def test_auto_size_capped(self):
+        assert auto_batch_size(1000, 2) == MAX_BATCH_CELLS
+
+    def test_auto_size_serial_and_empty(self):
+        assert auto_batch_size(10, 1) == 1
+        assert auto_batch_size(0, 4) == 1
+
+    def test_batches_group_by_workload_family(self):
+        """Locality: a batch never mixes workload families (its cells share
+        one op stream), and matrix order is preserved within a family."""
+        cells = build_matrix(["tp", "gauss"], cache_sizes=(2, 8, 32), num_ops=10)
+        batches = plan_batches(cells, jobs=2, batch_size=2)
+        assert all(len({c.workload for c in batch}) == 1 for batch in batches)
+        flat = [c.cell_id for batch in batches for c in batch]
+        assert sorted(flat) == sorted(c.cell_id for c in cells)
+        for batch in batches:
+            entries = [c.cache_entries for c in batch]
+            assert entries == sorted(entries, key=[2, 8, 32].index)
+
+    def test_batch_size_one_is_per_cell(self):
+        cells = build_matrix(["tp", "gauss"], cache_sizes=(2, 32), num_ops=10)
+        batches = plan_batches(cells, jobs=2, batch_size=1)
+        assert [len(b) for b in batches] == [1, 1, 1, 1]
+
+    def test_auto_plan_covers_all_cells(self):
+        cells = build_matrix(["tp", "gauss", "tp_small"], cache_sizes=(2, 32), num_ops=10)
+        batches = plan_batches(cells, jobs=4)
+        assert sum(len(b) for b in batches) == len(cells)
+        assert all(1 <= len(b) <= auto_batch_size(len(cells), 4) for b in batches)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            plan_batches(CELLS, jobs=2, batch_size=0)
+
+
+class TestGroupCommit:
+    def test_write_checkpoints_commits_all(self, tmp_path):
+        pairs = [(c, fake_result(c)) for c in CELLS]
+        targets = write_checkpoints(tmp_path, pairs)
+        assert targets == [checkpoint_path(tmp_path, c) for c in CELLS]
+        for cell, result in pairs:
+            assert load_checkpoint(tmp_path, cell) == result
+        assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+
+    def test_batched_files_identical_to_singles(self, tmp_path):
+        """Group commit writes the same per-cell bytes as the one-at-a-time
+        path — batched and unbatched checkpoint dirs interchange freely."""
+        single_dir, group_dir = tmp_path / "single", tmp_path / "group"
+        pairs = [(c, fake_result(c)) for c in CELLS]
+        for cell, result in pairs:
+            write_checkpoint(single_dir, cell, result)
+        write_checkpoints(group_dir, pairs)
+        for cell in CELLS:
+            assert (
+                checkpoint_path(single_dir, cell).read_bytes()
+                == checkpoint_path(group_dir, cell).read_bytes()
+            )
 
 
 class TestRunMatrixInProcess:
