@@ -23,6 +23,7 @@ from repro.alloc.page_heap import PageHeap
 from repro.alloc.sampler import Sampler
 from repro.alloc.size_classes import SizeClassTable, class_index
 from repro.alloc.thread_cache import ThreadCache
+from repro.sim.engine import is_columnar
 from repro.sim.memory import NULL
 from repro.sim.trace_intern import TraceInterner
 from repro.sim.uop import Tag, Trace
@@ -140,10 +141,22 @@ class TCMalloc:
         """ptr -> (requested size, size class); class 0 marks large spans."""
         self.records: list[CallRecord] = []
         self.keep_records: bool = True
+        self._fastpath = None
+        if is_columnar():
+            # Columnar engine: attach the fused priced twin of this
+            # allocator's fast paths (None for unregistered subclasses).
+            from repro.alloc.fastpath import fastpath_for
+
+            self._fastpath = fastpath_for(self)
 
     # ------------------------------------------------------------------ malloc
     def malloc(self, size: int) -> tuple[int, CallRecord]:
         """Allocate ``size`` bytes; returns ``(ptr, record)``."""
+        fastpath = self._fastpath
+        if fastpath is not None:
+            out = fastpath.malloc(size)
+            if out is not None:
+                return out
         if size <= 0:
             raise ValueError("size must be positive")
         clock0 = self.machine.clock
@@ -275,6 +288,11 @@ class TCMalloc:
         return self._free_impl(ptr, sized_hint=size)
 
     def _free_impl(self, ptr: int, sized_hint: int | None) -> CallRecord:
+        fastpath = self._fastpath
+        if fastpath is not None:
+            record = fastpath.free(ptr, sized_hint)
+            if record is not None:
+                return record
         if ptr not in self.live:
             raise ValueError(f"free of unallocated pointer {ptr:#x}")
         size, cl = self.live.pop(ptr)

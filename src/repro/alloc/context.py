@@ -12,8 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.sim.arena import ArenaMemory
 from repro.sim.branch import BranchPredictor
+from repro.sim.engine import is_columnar
 from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.lazyhier import LazyRingHierarchy
 from repro.sim.memory import SimulatedMemory, VirtualAddressSpace
 from repro.sim.timing import CoreConfig, TimingModel, TimingResult
 from repro.sim.tlb import TLB
@@ -24,13 +27,27 @@ if TYPE_CHECKING:
     from repro.harness.profile import HotPathProfiler
 
 
+def default_memory() -> SimulatedMemory:
+    """Engine-selected simulated memory: arena slabs under columnar, the
+    sparse word dict under reference.  Both are observationally identical."""
+    return ArenaMemory() if is_columnar() else SimulatedMemory()
+
+
+def default_hierarchy() -> CacheHierarchy:
+    """Engine-selected cache hierarchy: the lazy ring-burst model under
+    columnar (which self-degrades to plain eager whenever the geometry or
+    the cache implementation rules the lazy representation out), the plain
+    eager hierarchy under reference."""
+    return LazyRingHierarchy() if is_columnar() else CacheHierarchy()
+
+
 @dataclass
 class Machine:
     """All persistent simulated-hardware state for one core."""
 
-    memory: SimulatedMemory = field(default_factory=SimulatedMemory)
+    memory: SimulatedMemory = field(default_factory=default_memory)
     address_space: VirtualAddressSpace = field(default_factory=VirtualAddressSpace)
-    hierarchy: CacheHierarchy = field(default_factory=CacheHierarchy)
+    hierarchy: CacheHierarchy = field(default_factory=default_hierarchy)
     tlb: TLB = field(default_factory=TLB)
     predictor: BranchPredictor = field(default_factory=BranchPredictor)
     timing: TimingModel = field(default_factory=lambda: TimingModel(CoreConfig()))

@@ -493,12 +493,19 @@ def cmd_traffic(args: argparse.Namespace) -> None:
 
 def cmd_report(args: argparse.Namespace) -> None:
     if args.compare:
-        from repro.obs.compare import compare_payloads, load_payload, render_deltas
+        from repro.obs.compare import (
+            compare_payloads,
+            cross_engine_note,
+            load_payload,
+            render_deltas,
+        )
 
         path_a, path_b = args.compare
-        deltas = compare_payloads(
-            load_payload(path_a), load_payload(path_b), threshold=args.threshold
-        )
+        payload_a, payload_b = load_payload(path_a), load_payload(path_b)
+        note = cross_engine_note(payload_a, payload_b)
+        if note:
+            print(note)
+        deltas = compare_payloads(payload_a, payload_b, threshold=args.threshold)
         print(render_deltas(deltas))
         if deltas:
             sys.exit(1)

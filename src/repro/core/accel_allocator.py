@@ -297,3 +297,10 @@ class MallaccTCMalloc(MallaccFastPathMixin, TCMalloc):
             intern_traces=intern_traces,
         )
         self._attach_mallacc(cache_config)
+
+
+# Columnar-engine fused twin for the exact MallaccTCMalloc type (subclasses
+# overriding emission hooks must register their own — see repro.alloc.fastpath).
+from repro.alloc.fastpath import MallaccFastPath, register_fastpath  # noqa: E402
+
+register_fastpath(MallaccTCMalloc, MallaccFastPath)

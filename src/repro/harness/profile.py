@@ -40,8 +40,10 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 #: Reporting order for the stage table.  ``warming`` is the functional
-#: fast-forward stretch of a sampled replay (skip + warm modes).
-STAGE_ORDER = ("replay", "emission", "build", "schedule", "warming")
+#: fast-forward stretch of a sampled replay (skip + warm modes);
+#: ``columnar_compile`` is template compilation under the columnar engine,
+#: nested *inside* ``schedule`` (so it is not part of the emission residual).
+STAGE_ORDER = ("replay", "emission", "build", "schedule", "columnar_compile", "warming")
 
 
 @dataclass
@@ -172,6 +174,8 @@ def machine_counter_snapshot(machines) -> dict[str, int]:
         "intern_misses": 0,
         "trace_cache_hits": 0,
         "trace_cache_misses": 0,
+        "columnar_templates_compiled": 0,
+        "columnar_uops_compiled": 0,
     }
     seen_l1: set[int] = set()
     seen_interners: set[int] = set()
@@ -190,10 +194,13 @@ def machine_counter_snapshot(machines) -> dict[str, int]:
             totals["intern_hits"] += interner.stats.hits
             totals["intern_misses"] += interner.stats.misses
         timing = machine.timing
-        if id(timing) not in seen_timings and timing.cache_stats is not None:
+        if id(timing) not in seen_timings:
             seen_timings.add(id(timing))
-            totals["trace_cache_hits"] += timing.cache_stats.hits
-            totals["trace_cache_misses"] += timing.cache_stats.misses
+            if timing.cache_stats is not None:
+                totals["trace_cache_hits"] += timing.cache_stats.hits
+                totals["trace_cache_misses"] += timing.cache_stats.misses
+            totals["columnar_templates_compiled"] += timing.columnar_compiles
+            totals["columnar_uops_compiled"] += timing.columnar_compiled_uops
     return totals
 
 

@@ -33,9 +33,12 @@ from repro.sim.sampling import (
 )
 from repro.workloads.base import Op, OpKind
 
-_APP_REGION_BASE = 0x0000_7000_0000_0000
-_APP_REGION_BYTES = 2 * 1024 * 1024
-"""Application streaming region: fits in L3, thrashes L1/L2."""
+from repro.sim.lazyhier import RING_BASE as _APP_REGION_BASE
+from repro.sim.lazyhier import RING_BYTES as _APP_REGION_BYTES
+
+"""Application streaming region: fits in L3, thrashes L1/L2.  The constants
+are owned by repro.sim.lazyhier — the columnar engine's lazy hierarchy keys
+its cursor-shaped burst recognition on this exact window."""
 
 
 class AppTraffic:
@@ -245,9 +248,12 @@ def _profiler_begin(profiler: HotPathProfiler | None, machines):
     if profiler is None:
         return None
     distinct = _distinct_machines(machines)
-    previous = [m.profiler for m in distinct]
+    previous = [(m.profiler, m.timing.profiler) for m in distinct]
     for m in distinct:
         m.profiler = profiler
+        # The timing model times columnar template compilation itself (the
+        # ``columnar_compile`` stage, nested inside ``schedule``).
+        m.timing.profiler = profiler
     counters = machine_counter_snapshot(distinct)
     timer = profiler.timed("replay")
     timer.__enter__()
@@ -259,8 +265,9 @@ def _profiler_end(profiler: HotPathProfiler | None, state) -> None:
         return
     distinct, previous, counters_before, timer = state
     timer.__exit__(None, None, None)
-    for machine, prev in zip(distinct, previous):
+    for machine, (prev, prev_timing) in zip(distinct, previous):
         machine.profiler = prev
+        machine.timing.profiler = prev_timing
     after = machine_counter_snapshot(distinct)
     for name, value in after.items():
         profiler.count(name, value - counters_before.get(name, 0))

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import engine_name as _engine_name
 
 
 def run_registry(
@@ -45,6 +46,12 @@ def run_registry(
     reg = registry if registry is not None else MetricsRegistry()
     if getattr(result, "workload", ""):
         labels.setdefault("workload", result.workload)
+    # Info-style marker: which replay engine produced these numbers.  The
+    # engines are bit-identical on every other series, so this is the one
+    # series allowed to differ — ``repro report --compare`` keys off it to
+    # flag cross-engine diffs (and excludes it from the delta scan).
+    engine = getattr(getattr(result, "manifest", None), "engine", "") or _engine_name()
+    reg.gauge("engine_info", engine=engine, **labels).set(1.0)
     reg.counter("calls", **labels).inc(len(result.records))
     reg.counter("warmup_calls", **labels).inc(result.warmup_calls)
     reg.counter("app_cycles", **labels).inc(result.app_cycles)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Iterable, Mapping, Sequence
@@ -31,6 +32,9 @@ DEFAULT_IGNORE = (
     "*started_at*",
     "*manifest*",
     "*seconds_per_rep*",
+    "*engine_info*",
+    "*.engine",
+    "engine",
 )
 
 
@@ -86,6 +90,47 @@ def flatten(payload: object, prefix: str = "") -> dict[str, object]:
 
 def _ignored(path: str, patterns: Sequence[str]) -> bool:
     return any(fnmatchcase(path, pat) for pat in patterns)
+
+
+#: Matches the engine label in a rendered series name; registry rendering
+#: is unquoted (``engine_info{engine=columnar}``), Prometheus-style dumps
+#: quote (``engine="columnar"``) — accept both.
+_ENGINE_LABEL = re.compile(r'engine="?([^",}]+)"?')
+
+
+def payload_engines(payload: Mapping[str, object]) -> tuple[str, ...]:
+    """Replay engines a payload claims to come from, in sorted order.
+
+    Looks at every provenance carrier: ``engine`` leaves (top-level or
+    ``manifest.engine``) and ``engine_info{engine="..."}`` metric series
+    names.  Empty when the payload predates engine stamping.
+    """
+    engines: set[str] = set()
+    for path, value in flatten(payload).items():
+        if (path == "engine" or path.endswith(".engine")) and isinstance(value, str):
+            if value:
+                engines.add(value)
+        elif "engine_info" in path:
+            m = _ENGINE_LABEL.search(path)
+            if m:
+                engines.add(m.group(1))
+    return tuple(sorted(engines))
+
+
+def cross_engine_note(
+    a: Mapping[str, object], b: Mapping[str, object]
+) -> str | None:
+    """A warning line when A and B were produced by different replay
+    engines — the numbers must still match (engines are bit-identical by
+    contract), but the comparison deserves a flag, not a silent diff."""
+    ea, eb = payload_engines(a), payload_engines(b)
+    if ea and eb and ea != eb:
+        return (
+            f"note: cross-engine comparison (A: {','.join(ea)} vs "
+            f"B: {','.join(eb)}) — engines are bit-identical by contract, "
+            "so any delta below is a real regression"
+        )
+    return None
 
 
 def _rel_delta(a: float, b: float) -> float:

@@ -42,6 +42,7 @@ def _package_version() -> str:
 #: (unset keys are omitted) so a manifest diff reveals "you ran with the
 #: reference cache implementation" style divergences.
 ENV_KNOBS = (
+    "REPRO_ENGINE",
     "REPRO_TRACE_CACHE",
     "REPRO_TRACE_INTERN",
     "REPRO_INTERN_VALIDATE",
@@ -101,6 +102,10 @@ class RunManifest:
     config: tuple[tuple[str, str], ...] = ()
     """The fingerprinted config itself, stringified — small by design."""
     extra: tuple[tuple[str, str], ...] = ()
+    engine: str = ""
+    """Replay engine (``columnar`` | ``reference``) the run executed on.
+    Engines are bit-identical on results, so this is provenance — but a
+    cross-engine ``repro report --compare`` deserves a flag, not silence."""
 
     def to_dict(self) -> dict:
         payload = asdict(self)
@@ -127,9 +132,10 @@ class RunManifest:
     def describe(self) -> str:
         """One-line human rendering for reports and logs."""
         env = ",".join(f"{k}={v}" for k, v in self.env) or "-"
+        engine = f" engine={self.engine}" if self.engine else ""
         return (
             f"config={self.config_hash} seed={self.seed} git={self.git_sha[:12]} "
-            f"v{self.package_version} env[{env}] wall={self.wall_seconds:.3f}s"
+            f"v{self.package_version}{engine} env[{env}] wall={self.wall_seconds:.3f}s"
         )
 
 
@@ -143,7 +149,10 @@ def collect_manifest(
     env = tuple(
         (k, os.environ[k]) for k in ENV_KNOBS if k in os.environ
     )
+    from repro.sim.engine import engine_name
+
     return RunManifest(
+        engine=engine_name(),
         config_hash=config_fingerprint(config),
         seed=seed,
         env=env,

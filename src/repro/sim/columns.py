@@ -1,0 +1,337 @@
+"""Flat-array ("columnar") compilation of uop traces.
+
+A :class:`~repro.sim.uop.Trace` is a list of ``Uop`` dataclasses; scheduling
+one means chasing Python attributes and enum identities per uop.  The
+columnar engine compiles each trace *once* into :class:`TraceColumns` — a
+set of parallel stdlib ``array`` columns (kind code, latency, CSR-encoded
+dependence indices, tag code, cache-line index) cached on the trace object —
+so :class:`~repro.sim.timing.TimingModel` can schedule by walking primitive
+arrays.  Interned templates are shared ``Trace`` instances, so one
+compilation serves every replay hit of that variant, and the columns pickle
+with the trace into :class:`repro.sim.warm.WarmBank`.
+
+The dependence columns use CSR encoding: ``dep_indices[dep_indptr[i] :
+dep_indptr[i + 1]]`` are the source uop indices of uop ``i``.  Ablation
+(:func:`schedule_columns_ablated`) never materializes the tag-stripped
+trace: removed uops become zero-latency pass-throughs whose effective ready
+time is the max of their sources — provably the same value the reference
+engine computes by transitively rewiring dependences in
+:meth:`~repro.sim.uop.Trace.without_tags` and rescheduling.
+
+Everything here is observationally equivalent to the reference scheduler;
+the differential suite holds both engines to bit-identical
+:class:`~repro.sim.timing.TimingResult` contents.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.sim.uop import Tag, Trace, UopKind
+
+#: Kind codes, index == position in the column.  Order is part of the
+#: compiled representation (warm banks pickle columns), so append only.
+KIND_ORDER = (
+    UopKind.ALU,
+    UopKind.LOAD,
+    UopKind.STORE,
+    UopKind.BRANCH,
+    UopKind.MALLACC,
+    UopKind.PREFETCH,
+    UopKind.FIXED,
+)
+KIND_CODE = {kind: code for code, kind in enumerate(KIND_ORDER)}
+
+TAG_ORDER = (
+    Tag.SIZE_CLASS,
+    Tag.SAMPLING,
+    Tag.PUSH_POP,
+    Tag.CALL_OVERHEAD,
+    Tag.ADDRESSING,
+    Tag.METADATA,
+    Tag.SLOW_PATH,
+    Tag.MALLACC,
+)
+TAG_CODE = {tag: code for code, tag in enumerate(TAG_ORDER)}
+
+_CODE_LOAD = KIND_CODE[UopKind.LOAD]
+_CODE_STORE = KIND_CODE[UopKind.STORE]
+_CODE_PREFETCH = KIND_CODE[UopKind.PREFETCH]
+
+#: Per-uop scheduling flags (derived column, so the scheduler tests one int
+#: instead of comparing kind codes twice per uop).
+FLAG_LOAD_PORT = 1  # competes for a load port (LOAD and PREFETCH)
+FLAG_STORE_PORT = 2  # competes for the store port (STORE)
+FLAG_BUFFERED = 4  # drains off the critical path (STORE and PREFETCH)
+
+
+class TraceColumns:
+    """Parallel primitive columns for one trace (see module docstring)."""
+
+    __slots__ = (
+        "n",
+        "kinds",
+        "flags",
+        "lats",
+        "dep_indptr",
+        "dep_indices",
+        "tags",
+        "lines",
+        "tag_mask",
+    )
+
+    def __init__(self, n, kinds, flags, lats, dep_indptr, dep_indices, tags, lines, tag_mask):
+        self.n = n
+        self.kinds = kinds
+        self.flags = flags
+        self.lats = lats
+        self.dep_indptr = dep_indptr
+        self.dep_indices = dep_indices
+        self.tags = tags
+        self.lines = lines
+        #: OR of ``1 << tag_code`` over all uops — lets ablation skip the
+        #: per-uop walk when no removed tag is present at all.
+        self.tag_mask = tag_mask
+
+    def __reduce__(self):
+        # Explicit reduce keeps pickles (warm banks) stable against slot
+        # reordering.
+        return (
+            TraceColumns,
+            (
+                self.n,
+                self.kinds,
+                self.flags,
+                self.lats,
+                self.dep_indptr,
+                self.dep_indices,
+                self.tags,
+                self.lines,
+                self.tag_mask,
+            ),
+        )
+
+
+def compile_trace(trace: Trace) -> TraceColumns:
+    """Compile ``trace`` into columns and cache them on the instance."""
+    kind_code = KIND_CODE
+    tag_code = TAG_CODE
+    n = len(trace.uops)
+    kinds = array("b", bytes(n))
+    flags = array("b", bytes(n))
+    lats = array("q", bytes(8 * n))
+    tags = array("b", bytes(n))
+    lines = array("q", bytes(8 * n))
+    dep_indptr = array("i", bytes(4 * (n + 1)))
+    dep_indices = array("i")
+    tag_mask = 0
+    total = 0
+    for i, uop in enumerate(trace.uops):
+        code = kind_code[uop.kind]
+        kinds[i] = code
+        flag = 0
+        if code == _CODE_LOAD:
+            flag = FLAG_LOAD_PORT
+        elif code == _CODE_PREFETCH:
+            flag = FLAG_LOAD_PORT | FLAG_BUFFERED
+        elif code == _CODE_STORE:
+            flag = FLAG_STORE_PORT | FLAG_BUFFERED
+        flags[i] = flag
+        lats[i] = uop.latency
+        tcode = tag_code[uop.tag]
+        tags[i] = tcode
+        tag_mask |= 1 << tcode
+        lines[i] = -1 if uop.addr is None else uop.addr >> 6
+        deps = uop.deps
+        if deps:
+            dep_indices.extend(deps)
+            total += len(deps)
+        dep_indptr[i + 1] = total
+    cols = TraceColumns(n, kinds, flags, lats, dep_indptr, dep_indices, tags, lines, tag_mask)
+    trace._columns = cols
+    return cols
+
+
+def columns_of(trace: Trace) -> TraceColumns:
+    """The cached columns for ``trace``, compiling on first sight.
+
+    Returns the columns without counting a compilation when already cached;
+    callers that track compile counters should test ``trace._columns``
+    themselves first.
+    """
+    cols = getattr(trace, "_columns", None)
+    if cols is None:
+        cols = compile_trace(trace)
+    return cols
+
+
+def schedule_columns(cols: TraceColumns, config):
+    """Columnar twin of ``TimingModel._schedule``: identical semantics,
+    primitive-array walk.  Returns ``(cycles, issue_times, ready_times)``
+    with the tuples in reference order."""
+    width = config.issue_width
+    load_ports = config.load_ports
+    store_ports = config.store_ports
+    rob_size = config.rob_size
+    n = cols.n
+    flags = cols.flags
+    lats = cols.lats
+    indptr = cols.dep_indptr
+    indices = cols.dep_indices
+
+    issue_times: list[int] = []
+    ready_times: list[int] = []
+    slots: dict[int, int] = {}
+    load_slots: dict[int, int] = {}
+    store_slots: dict[int, int] = {}
+    slots_get = slots.get
+    load_get = load_slots.get
+    store_get = store_slots.get
+    issue_append = issue_times.append
+    ready_append = ready_times.append
+
+    completion = 0
+    retire_times: list[int] = []
+    retire_append = retire_times.append
+    retire_frontier = 0
+    lo = indptr[0]
+    for i in range(n):
+        cycle = 0
+        hi = indptr[i + 1]
+        while lo < hi:
+            r = ready_times[indices[lo]]
+            if r > cycle:
+                cycle = r
+            lo += 1
+        if i >= rob_size:
+            oldest_retire = retire_times[i - rob_size]
+            if oldest_retire > cycle:
+                cycle = oldest_retire
+        flag = flags[i]
+        is_load = flag & 1  # FLAG_LOAD_PORT
+        is_store = flag & 2  # FLAG_STORE_PORT
+        while (
+            slots_get(cycle, 0) >= width
+            or (is_load and load_get(cycle, 0) >= load_ports)
+            or (is_store and store_get(cycle, 0) >= store_ports)
+        ):
+            cycle += 1
+        slots[cycle] = slots_get(cycle, 0) + 1
+        if is_load:
+            load_slots[cycle] = load_get(cycle, 0) + 1
+        elif is_store:
+            store_slots[cycle] = store_get(cycle, 0) + 1
+        issue_append(cycle)
+
+        ready = cycle + lats[i]
+        ready_append(ready)
+
+        if flag & 4:  # FLAG_BUFFERED: store/prefetch retire without stalling
+            on_path = cycle + 1
+        else:
+            on_path = ready
+        if on_path > retire_frontier:
+            retire_frontier = on_path
+        retire_append(retire_frontier)
+        if on_path > completion:
+            completion = on_path
+
+    return completion, issue_times, ready_times
+
+
+def schedule_columns_ablated(cols: TraceColumns, removed_mask: int, config):
+    """Schedule ``cols`` with all uops whose tag code is set in
+    ``removed_mask`` (bitmask of ``1 << TAG_CODE[tag]``) removed.
+
+    Removed uops become zero-cost pass-throughs: their effective ready time
+    is the max of their sources' effective ready times, which equals the max
+    over the surviving transitive dependences that
+    :meth:`~repro.sim.uop.Trace.without_tags` would rewire to.  Kept uops
+    are renumbered implicitly (ROB indexing counts kept uops only), so the
+    issue schedule is identical to reference-scheduling the rewired trace.
+    Returns ``(cycles, issue_times, ready_times)`` for the kept uops.
+    """
+    width = config.issue_width
+    load_ports = config.load_ports
+    store_ports = config.store_ports
+    rob_size = config.rob_size
+    n = cols.n
+    flags = cols.flags
+    lats = cols.lats
+    tags = cols.tags
+    indptr = cols.dep_indptr
+    indices = cols.dep_indices
+
+    # effective ready per *original* index (pass-through for removed uops)
+    eff_ready: list[int] = []
+    eff_append = eff_ready.append
+    issue_times: list[int] = []
+    ready_times: list[int] = []
+    slots: dict[int, int] = {}
+    load_slots: dict[int, int] = {}
+    store_slots: dict[int, int] = {}
+    slots_get = slots.get
+    load_get = load_slots.get
+    store_get = store_slots.get
+
+    completion = 0
+    retire_times: list[int] = []
+    retire_frontier = 0
+    kept = 0
+    lo = indptr[0]
+    for i in range(n):
+        cycle = 0
+        hi = indptr[i + 1]
+        while lo < hi:
+            r = eff_ready[indices[lo]]
+            if r > cycle:
+                cycle = r
+            lo += 1
+        if removed_mask >> tags[i] & 1:
+            eff_append(cycle)
+            continue
+        if kept >= rob_size:
+            oldest_retire = retire_times[kept - rob_size]
+            if oldest_retire > cycle:
+                cycle = oldest_retire
+        flag = flags[i]
+        is_load = flag & 1
+        is_store = flag & 2
+        while (
+            slots_get(cycle, 0) >= width
+            or (is_load and load_get(cycle, 0) >= load_ports)
+            or (is_store and store_get(cycle, 0) >= store_ports)
+        ):
+            cycle += 1
+        slots[cycle] = slots_get(cycle, 0) + 1
+        if is_load:
+            load_slots[cycle] = load_get(cycle, 0) + 1
+        elif is_store:
+            store_slots[cycle] = store_get(cycle, 0) + 1
+        issue_times.append(cycle)
+
+        ready = cycle + lats[i]
+        ready_times.append(ready)
+        eff_append(ready)
+
+        if flag & 4:
+            on_path = cycle + 1
+        else:
+            on_path = ready
+        if on_path > retire_frontier:
+            retire_frontier = on_path
+        retire_times.append(retire_frontier)
+        if on_path > completion:
+            completion = on_path
+        kept += 1
+
+    return completion, issue_times, ready_times
+
+
+def removed_tag_mask(tags) -> int:
+    """Bitmask of tag codes for an ablation tag set."""
+    mask = 0
+    tag_code = TAG_CODE
+    for tag in tags:
+        mask |= 1 << tag_code[tag]
+    return mask

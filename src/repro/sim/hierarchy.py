@@ -390,9 +390,18 @@ class CacheHierarchy:
         stale way — sampled replay is approximate there anyway).  Counters
         stay exact for the same reason: a head line was last touched a full
         window earlier, long since evicted from L1/L2.
+
+        Non-fast hierarchies (reference cache impl, subclasses with swapped
+        levels) have no bulk geometry to skip with, so they apply the full
+        window per line — the exact semantics the head-skip approximates,
+        matching it everywhere except the documented ring-wrap off-by-one.
         """
-        inner = self._a2 * self._n2 if self._fast_demand else 0
-        head_left = sum(n for _, n in ranges) - inner
+        if not self._fast_demand:
+            for base, n in ranges:
+                if n:
+                    self.touch_lines(base, n)
+            return
+        head_left = sum(n for _, n in ranges) - self._a2 * self._n2
         if head_left <= 0:
             for base, n in ranges:
                 if n:

@@ -23,6 +23,15 @@ from dataclasses import dataclass, field
 from repro.sim.cache import SetAssociativeCache, cache_class_from_env
 from repro.sim.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.sim.memory import SimulatedMemory, VirtualAddressSpace
+
+
+def _default_memory() -> SimulatedMemory:
+    # Engine-selected shared memory (multicore hierarchies themselves stay
+    # on the coherent eager model under both engines).
+    from repro.sim.arena import ArenaMemory
+    from repro.sim.engine import is_columnar
+
+    return ArenaMemory() if is_columnar() else SimulatedMemory()
 from repro.sim.timing import CoreConfig, TimingModel
 
 
@@ -115,7 +124,7 @@ class CoherentHierarchy(CacheHierarchy):
 class SharedSubstrate:
     """The pieces every core of one simulated machine shares."""
 
-    memory: SimulatedMemory = field(default_factory=SimulatedMemory)
+    memory: SimulatedMemory = field(default_factory=lambda: _default_memory())
     address_space: VirtualAddressSpace = field(default_factory=VirtualAddressSpace)
     directory: CoherenceDirectory = field(default_factory=CoherenceDirectory)
     l3: SetAssociativeCache | None = None

@@ -23,6 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim import warm as _warm
+from repro.sim.columns import (
+    compile_trace,
+    removed_tag_mask,
+    schedule_columns,
+    schedule_columns_ablated,
+)
+from repro.sim.engine import is_columnar
 from repro.sim.trace_cache import DEFAULT_TRACE_CACHE_ENTRIES, TraceCache, TraceCacheStats
 from repro.sim.uop import Tag, Trace, UopKind
 
@@ -72,13 +79,29 @@ class TimingModel:
     """Schedules traces; the only state beyond configuration is the
     memoization cache, which by construction never changes an answer."""
 
-    def __init__(self, config: CoreConfig | None = None) -> None:
+    def __init__(self, config: CoreConfig | None = None, columnar: bool | None = None) -> None:
         self.config = config or CoreConfig()
         self.cache: TraceCache | None = (
             TraceCache(self.config.trace_cache_entries)
             if self.config.trace_cache_entries > 0
             else None
         )
+        #: Engine choice, resolved at construction (``REPRO_ENGINE``) like
+        #: the cache implementation.  Columnar scheduling compiles traces to
+        #: flat columns (repro.sim.columns) and walks primitive arrays;
+        #: results are bit-identical to :meth:`_schedule`.
+        self.columnar = is_columnar() if columnar is None else columnar
+        self._run_schedule = self._schedule_columnar if self.columnar else self._schedule
+        #: Template-compilation telemetry (columnar engine only; surfaced by
+        #: the hot-path profiler as ``columnar_templates_compiled`` /
+        #: ``columnar_uops_compiled``).
+        self.columnar_compiles = 0
+        self.columnar_compiled_uops = 0
+        #: Optional duck-typed profiler (set alongside ``machine.profiler``);
+        #: when present, compile time is recorded as the ``columnar_compile``
+        #: stage, nested inside the allocator's ``schedule`` span.
+        self.profiler = None
+        self._ablate_masks: dict[frozenset, int] = {}
 
     # ------------------------------------------------------------ memoization
     def set_memoization(self, enabled: bool) -> None:
@@ -107,7 +130,7 @@ class TimingModel:
         """
         cache = self.cache
         if cache is None:
-            return self._schedule(trace)
+            return self._run_schedule(trace)
         key = trace.fingerprint_key()
         result = cache.get(key)
         if result is None:
@@ -117,7 +140,7 @@ class TimingModel:
             # bit-equal and telemetry is untouched.
             result = _warm.lookup_schedule(key)
             if result is None:
-                result = self._schedule(trace)
+                result = self._run_schedule(trace)
             cache.put(key, result)
         return result
 
@@ -131,15 +154,77 @@ class TimingModel:
         tags = frozenset(tags)
         cache = self.cache
         if cache is None:
+            if self.columnar:
+                return self._schedule_ablated_columnar(trace, tags)
             return self._schedule(trace.without_tags(tags))
         key = (trace.fingerprint_key(), tags)
         result = cache.get(key)
         if result is None:
             result = _warm.lookup_schedule(key)
             if result is None:
-                result = self._schedule(trace.without_tags(tags))
+                if self.columnar:
+                    result = self._schedule_ablated_columnar(trace, tags)
+                else:
+                    result = self._schedule(trace.without_tags(tags))
             cache.put(key, result)
         return result
+
+    # ----------------------------------------------------- columnar schedule
+    def _compile(self, trace: Trace):
+        """Compile ``trace`` to columns (cached on the instance), counting
+        the compilation and attributing its wall time to the
+        ``columnar_compile`` profiler stage when a profiler is attached."""
+        profiler = self.profiler
+        if profiler is not None:
+            with profiler.timed("columnar_compile"):
+                cols = compile_trace(trace)
+        else:
+            cols = compile_trace(trace)
+        self.columnar_compiles += 1
+        self.columnar_compiled_uops += cols.n
+        return cols
+
+    def _schedule_columnar(self, trace: Trace) -> TimingResult:
+        cols = getattr(trace, "_columns", None)
+        if cols is None:
+            # Compile lazily, on the *second* schedule of a template.  Under
+            # memoization every distinct fingerprint is scheduled exactly once
+            # and then served from the trace cache, so building columns up
+            # front would pay array construction for a single walk — strictly
+            # worse than one interpretive pass.  A template that comes back
+            # (cache eviction, memoization off, ablation variants) compiles
+            # then, and every later schedule walks the arrays.
+            if getattr(trace, "_sched_once", False):
+                cols = self._compile(trace)
+            else:
+                trace._sched_once = True
+                return self._schedule(trace)
+        completion, issue_times, ready_times = schedule_columns(cols, self.config)
+        return TimingResult(
+            cycles=completion + self.config.pipeline_overhead,
+            issue_times=tuple(issue_times),
+            ready_times=tuple(ready_times),
+        )
+
+    def _schedule_ablated_columnar(self, trace: Trace, tags: frozenset) -> TimingResult:
+        cols = getattr(trace, "_columns", None)
+        if cols is None:
+            cols = self._compile(trace)
+        mask = self._ablate_masks.get(tags)
+        if mask is None:
+            mask = self._ablate_masks[tags] = removed_tag_mask(tags)
+        if cols.tag_mask & mask:
+            completion, issue_times, ready_times = schedule_columns_ablated(
+                cols, mask, self.config
+            )
+        else:
+            # No uop carries a removed tag: the ablated trace is the trace.
+            completion, issue_times, ready_times = schedule_columns(cols, self.config)
+        return TimingResult(
+            cycles=completion + self.config.pipeline_overhead,
+            issue_times=tuple(issue_times),
+            ready_times=tuple(ready_times),
+        )
 
     # --------------------------------------------------------------- schedule
     def _schedule(self, trace: Trace) -> TimingResult:

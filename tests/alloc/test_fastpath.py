@@ -1,0 +1,155 @@
+"""Fused fast-path twins: registry discipline, fallbacks, error parity.
+
+The columnar engine replaces the emit-then-schedule fast paths with
+straight-line priced twins (:mod:`repro.alloc.fastpath`).  The twin
+registry keys on the allocator's *exact* type — subclasses that override
+emission hooks (``DebugAllocator``) silently fall back to the object
+path — and every twin guard bails to ``None`` before mutating anything,
+so slow paths, invalid arguments, and forensic wrappers behave exactly
+as on the reference engine.
+"""
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+from repro.alloc.allocator import Path, TCMalloc
+from repro.alloc.debug import POISON, DebugAllocator
+from repro.core.accel_allocator import MallaccTCMalloc
+
+
+@contextmanager
+def _engine(name):
+    saved = os.environ.get("REPRO_ENGINE")
+    if name is None:
+        os.environ.pop("REPRO_ENGINE", None)
+    else:
+        os.environ["REPRO_ENGINE"] = name
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = saved
+
+
+class TestRegistry:
+    def test_exact_type_gets_a_twin(self):
+        from repro.alloc.fastpath import MallaccFastPath, TCMallocFastPath
+
+        with _engine(None):
+            assert isinstance(TCMalloc()._fastpath, TCMallocFastPath)
+            assert isinstance(MallaccTCMalloc()._fastpath, MallaccFastPath)
+
+    def test_subclass_falls_back_to_object_path(self):
+        """DebugAllocator overrides malloc/free emission; inheriting the
+        TCMalloc twin would skip its canaries.  Exact-type lookup refuses."""
+        with _engine(None):
+            assert DebugAllocator()._fastpath is None
+
+    def test_reference_engine_attaches_no_twin(self):
+        with _engine("reference"):
+            assert TCMalloc()._fastpath is None
+            assert MallaccTCMalloc()._fastpath is None
+
+
+def _churn(alloc, sizes=(16, 48, 128, 16, 96, 16, 16)):
+    """A tiny mixed malloc/free stream; returns the observable records."""
+    out = []
+    ptrs = []
+    for size in sizes:
+        ptr, record = alloc.malloc(size)
+        ptrs.append((ptr, size))
+        out.append(("malloc", record.cycles, record.path.value))
+    for ptr, size in ptrs:
+        record = alloc.sized_free(ptr, size) if size % 2 == 0 else alloc.free(ptr)
+        out.append(("free", record.cycles, record.path.value))
+    return out
+
+
+class TestFallbacks:
+    def test_slow_path_falls_through_to_object_path(self):
+        """A large allocation can't be served by any thread-cache twin; the
+        twin must bail and the object path must price it — identically on
+        both engines."""
+        outs = {}
+        for engine in (None, "reference"):
+            with _engine(engine):
+                alloc = TCMalloc()
+                big = alloc.config.max_size + 4096
+                ptr, record = alloc.malloc(big)
+                free_rec = alloc.free(ptr)
+                outs[engine] = (
+                    record.cycles, record.path.value,
+                    free_rec.cycles, free_rec.path.value,
+                )
+                assert record.path is not Path.FAST
+        assert outs[None] == outs["reference"]
+
+    @pytest.mark.parametrize("bad_size", [0, -1])
+    def test_invalid_size_raises_on_both_engines(self, bad_size):
+        for engine in (None, "reference"):
+            with _engine(engine):
+                alloc = TCMalloc()
+                with pytest.raises(ValueError):
+                    alloc.malloc(bad_size)
+
+    def test_wild_free_raises_identically(self):
+        messages = {}
+        for engine in (None, "reference"):
+            with _engine(engine):
+                alloc = TCMalloc()
+                alloc.malloc(32)
+                with pytest.raises(ValueError) as exc:
+                    alloc.free(0xDEAD0)
+                messages[engine] = str(exc.value)
+        assert messages[None] == messages["reference"]
+
+    def test_twin_records_match_reference(self):
+        outs = {}
+        for engine in (None, "reference"):
+            with _engine(engine):
+                outs[engine] = _churn(TCMalloc())
+        assert outs[None] == outs["reference"]
+        # The churn must actually exercise both fast paths under columnar.
+        paths = {p for _, _, p in outs[None]}
+        assert Path.FAST.value in paths
+        assert Path.FREE_FAST.value in paths
+
+
+class TestDebugForensics:
+    """Reuse-after-free poisoning and canaries ride the object path on both
+    engines — and the poison word is readable straight out of the arena."""
+
+    @pytest.mark.parametrize("engine", [None, "reference"])
+    def test_freed_block_is_poisoned(self, engine):
+        with _engine(engine):
+            alloc = DebugAllocator()
+            ptr, _ = alloc.malloc(64)
+            alloc.free(ptr)
+            assert alloc.machine.memory.read_word(ptr) == POISON
+
+    def test_forensics_identical_across_engines(self):
+        outs = {}
+        for engine in (None, "reference"):
+            with _engine(engine):
+                alloc = DebugAllocator()
+                records = _churn(alloc, sizes=(24, 64, 24))
+                outs[engine] = (records, alloc.frees_checked,
+                                alloc.corruptions_detected)
+        assert outs[None] == outs["reference"]
+
+    @pytest.mark.parametrize("engine", [None, "reference"])
+    def test_canary_corruption_detected(self, engine):
+        from repro.alloc.debug import HeapCorruptionError
+
+        with _engine(engine):
+            alloc = DebugAllocator()
+            ptr, _ = alloc.malloc(32)
+            # Clobber the leading canary the way a buggy app would.
+            alloc.machine.memory.write_word(ptr - 8, 0x41414141)
+            with pytest.raises(HeapCorruptionError):
+                alloc.free(ptr)
+            assert alloc.corruptions_detected == 1

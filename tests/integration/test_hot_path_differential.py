@@ -1,19 +1,23 @@
-"""Differential grid: the emission fast-forward is byte-invisible.
+"""Differential grid: the hot-path machinery is byte-invisible.
 
 The hot-path work — interned trace templates, the O(1) per-set cache model
 with its inlined three-level walk, the batched app-traffic stream, the
-cached-fingerprint trace-cache keys — all promise *exact* behavioral
-equivalence: any (intern on/off) x (O(1) vs reference caches) combination
-must reproduce identical per-call cycles, ablations, paths, and aggregate
-accounting on identical op streams.  This suite holds every workload family
-to that promise, across serial, multithreaded, and sweep entry points, and
-(in subprocesses) across hash-randomization seeds.
+cached-fingerprint trace-cache keys, and the columnar replay engine
+(flat-array scheduling, lazy ring hierarchy, arena-slab memory, fused
+fast-path twins) — all promise *exact* behavioral equivalence: any
+(engine) x (intern on/off) x (O(1) vs reference caches) combination must
+reproduce identical per-call cycles, ablations, paths, and aggregate
+accounting on identical op streams.  This suite holds every workload
+family to that promise, across serial, multithreaded, sampled, traffic,
+and sweep entry points, and (in subprocesses) across hash-randomization
+seeds.
 
-The cache implementation is chosen from ``REPRO_CACHE_IMPL`` at hierarchy
+Both the engine and the cache implementation are chosen from the
+environment (``REPRO_ENGINE``, ``REPRO_CACHE_IMPL``) at machine
 construction, so each configuration builds its allocators inside the env
 context.  App-traffic modeling stays ON for the single-threaded grids —
 that is what routes the batched ``touch_lines`` walk (fast) against the
-per-line reference loop.
+per-line reference loop, and the lazy ring hierarchy against both.
 """
 
 import os
@@ -32,29 +36,37 @@ from repro.harness.sweeps import sweep_cache_sizes
 from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS, class_thrash
 from repro.workloads.threads import balanced_churn
 
-#: (cache impl env value or None for the O(1) default, intern_traces)
+#: (engine env value or None for the columnar default,
+#:  cache impl env value or None for the O(1) default,
+#:  intern_traces)
 GRID = [
-    (None, True),
-    (None, False),
-    ("reference", True),
-    ("reference", False),
+    (None, None, True),
+    (None, None, False),
+    (None, "reference", True),
+    ("reference", None, True),
+    ("reference", None, False),
+    ("reference", "reference", True),
 ]
+
+_ENV_KEYS = ("REPRO_ENGINE", "REPRO_CACHE_IMPL")
 
 
 @contextmanager
-def _cache_impl(impl):
-    saved = os.environ.get("REPRO_CACHE_IMPL")
-    if impl is None:
-        os.environ.pop("REPRO_CACHE_IMPL", None)
-    else:
-        os.environ["REPRO_CACHE_IMPL"] = impl
+def _engine_env(engine, impl):
+    saved = {k: os.environ.get(k) for k in _ENV_KEYS}
+    for key, value in (("REPRO_ENGINE", engine), ("REPRO_CACHE_IMPL", impl)):
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
     try:
         yield
     finally:
-        if saved is None:
-            os.environ.pop("REPRO_CACHE_IMPL", None)
-        else:
-            os.environ["REPRO_CACHE_IMPL"] = saved
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
 
 def _observable(result):
@@ -84,31 +96,40 @@ def _hierarchy_state(machine):
 
 def _grid_replays(workload, allocator, num_ops):
     outs = []
-    for impl, intern in GRID:
-        with _cache_impl(impl):
+    for engine, impl, intern in GRID:
+        with _engine_env(engine, impl):
             alloc = allocator(intern_traces=intern)
             result = run_workload(
                 alloc, workload.ops(seed=7, num_ops=num_ops), name=workload.name
             )
-        outs.append((impl, intern, result, alloc))
+        outs.append((engine, impl, intern, result, alloc))
     return outs
 
 
 def _assert_grid(workload, allocator, num_ops):
     outs = _grid_replays(workload, allocator, num_ops)
-    base = _observable(outs[0][2])
-    base_state = _hierarchy_state(outs[0][3].machine)
-    for impl, intern, result, alloc in outs[1:]:
-        tag = f"impl={impl or 'o1'} intern={intern}"
+    base = _observable(outs[0][3])
+    base_state = _hierarchy_state(outs[0][4].machine)
+    for engine, impl, intern, result, alloc in outs[1:]:
+        tag = f"engine={engine or 'columnar'} impl={impl or 'o1'} intern={intern}"
         assert _observable(result) == base, tag
         assert _hierarchy_state(alloc.machine) == base_state, tag
     # The default config must actually exercise the fast machinery.
-    fast = outs[0][3]
+    fast = outs[0][4]
     assert fast.machine.hierarchy._fast_demand
     assert fast.machine.interner is not None
     assert fast.machine.interner.stats.hits > 0
-    reference = outs[2][3]
-    assert not reference.machine.hierarchy._fast
+    if allocator is make_baseline:
+        # Compilation is lazy (second schedule of a template), and the
+        # accelerated allocator's fused twins can satisfy short replays
+        # without ever re-scheduling — so only the baseline is guaranteed
+        # to compile here.
+        assert fast.machine.timing.columnar_compiles > 0
+    reference_impl = outs[2][4]
+    assert not reference_impl.machine.hierarchy._fast
+    # ... and the reference engine must stay on the object model.
+    reference_engine = outs[3][4]
+    assert reference_engine.machine.timing.columnar_compiles == 0
     return outs
 
 
@@ -127,7 +148,8 @@ class TestSingleThreaded:
 
     def test_xalanc_heavy_app_traffic(self):
         """xalancbmk has the largest per-op app-line counts: the strongest
-        exercise of the batched touch_lines walk vs the per-line loop."""
+        exercise of the batched touch_lines walk vs the per-line loop, and
+        of the lazy ring hierarchy vs both."""
         _assert_grid(MACRO_WORKLOADS["483.xalancbmk"], make_baseline, 150)
 
 
@@ -140,9 +162,9 @@ class TestTouchLinesStrides:
     def test_stride_equivalence(self, stride):
         from repro.sim.hierarchy import CacheHierarchy
 
-        with _cache_impl(None):
+        with _engine_env(None, None):
             fast = CacheHierarchy()
-        with _cache_impl("reference"):
+        with _engine_env(None, "reference"):
             ref = CacheHierarchy()
         for base in (0, 1 << 20, 12345):
             fast.touch_lines(base, 300, stride=stride)
@@ -172,8 +194,8 @@ class TestMultithreaded:
     def test_bit_identical(self, coherent):
         workload = balanced_churn(4)
         outs = []
-        for impl, intern in GRID:
-            with _cache_impl(impl):
+        for engine, impl, intern in GRID:
+            with _engine_env(engine, impl):
                 mt = MultiThreadAllocator(4, coherent=coherent, intern_traces=intern)
                 result = run_multithreaded(
                     mt, workload.ops(seed=7, num_ops=500), name=workload.name
@@ -182,12 +204,74 @@ class TestMultithreaded:
         assert all(o == outs[0] for o in outs[1:])
 
 
+class TestSampled:
+    def test_sampled_fast_forward_bit_identical(self):
+        """The sampling fast-forward (deferred app traffic, window flushes)
+        rides the same engine plumbing; sampled summaries must agree across
+        the full grid."""
+        from repro.harness.experiments import (
+            compare_workload_sampled,
+            summarize_sampled_comparison,
+        )
+        from repro.sim.sampling import SamplingConfig
+
+        wl = MACRO_WORKLOADS["masstree.wcol1"]
+        cfg = SamplingConfig(interval_ops=100, stride=4, warmup_ops=50)
+        outs = []
+        for engine, impl, intern in GRID:
+            if not intern:
+                continue  # interning is orthogonal to the sampled planner
+            with _engine_env(engine, impl):
+                c = compare_workload_sampled(wl, num_ops=2000, seed=11, sampling=cfg)
+            outs.append(summarize_sampled_comparison(c))
+        assert len(outs) >= 3
+        assert all(o == outs[0] for o in outs[1:])
+
+
+class TestTraffic:
+    def test_traffic_engine_bit_identical(self):
+        """The open-loop traffic engine dispatches through the same timing
+        path; per-call cycles and aggregate accounting must agree across
+        engines, including on multiple cores with stochastic arrivals."""
+        from repro.traffic import TrafficConfig, run_traffic
+
+        configs = [
+            TrafficConfig(
+                workload="tp_small", arrival="constant", rps=50.0,
+                duration_s=1.0, clock_hz=1_000_000.0, cores=1,
+                ops_per_request=24, seed=7, session_mode="stream",
+                total_ops=300,
+            ),
+            TrafficConfig(
+                workload="xapian.abstracts", arrival="poisson", rps=200.0,
+                duration_s=0.5, clock_hz=1_000_000.0, cores=2,
+                ops_per_request=16, seed=9, total_ops=240,
+            ),
+        ]
+        for config in configs:
+            outs = []
+            for engine in (None, "reference"):
+                with _engine_env(engine, None):
+                    res = run_traffic(config)
+                outs.append(
+                    (
+                        res.call_cycles,
+                        res.alloc_cycles,
+                        res.app_cycles,
+                        res.contention_cycles,
+                        res.completed,
+                        res.warmup_calls,
+                    )
+                )
+            assert outs[0] == outs[1], config.workload
+
+
 class TestSweep:
     def test_sweep_cache_sizes(self):
         workload = MICROBENCHMARKS["tp_small"]
         curves = []
-        for impl, intern in GRID:
-            with _cache_impl(impl):
+        for engine, impl, intern in GRID:
+            with _engine_env(engine, impl):
                 env_intern = os.environ.get("REPRO_TRACE_INTERN")
                 os.environ["REPRO_TRACE_INTERN"] = "1" if intern else "0"
                 try:
@@ -203,12 +287,90 @@ class TestSweep:
         assert all(c == curves[0] for c in curves[1:])
 
 
+class TestEngineProvenance:
+    """Engine identity is provenance, not results: it lands in manifests and
+    one ``engine_info`` metric series, and nowhere else."""
+
+    def test_manifest_records_engine(self):
+        from repro.sim.engine import ENGINE_COLUMNAR, ENGINE_REFERENCE
+
+        wl = MICROBENCHMARKS["tp_small"]
+        for env_value, expected in ((None, ENGINE_COLUMNAR),
+                                    ("reference", ENGINE_REFERENCE)):
+            with _engine_env(env_value, None):
+                alloc = make_baseline(intern_traces=True)
+                result = run_workload(
+                    alloc, wl.ops(seed=7, num_ops=120), name=wl.name
+                )
+            assert result.manifest.engine == expected
+            assert f"engine={expected}" in result.manifest.describe()
+
+    def test_registry_differs_only_in_engine_info(self):
+        from repro.obs.bridges import run_registry
+        from repro.obs.compare import compare_payloads, payload_engines
+
+        wl = MICROBENCHMARKS["tp_small"]
+        payloads = []
+        for env_value in (None, "reference"):
+            with _engine_env(env_value, None):
+                alloc = make_baseline(intern_traces=True)
+                result = run_workload(
+                    alloc, wl.ops(seed=7, num_ops=120), name=wl.name
+                )
+            payloads.append(run_registry(result).to_dict())
+        engines_a, engines_b = (payload_engines(p) for p in payloads)
+        assert engines_a == ("columnar",)
+        assert engines_b == ("reference",)
+        # The engine marker is the ONE series allowed to differ; everything
+        # else must be byte-identical — and the default compare ignores it.
+        assert compare_payloads(payloads[0], payloads[1]) == []
+
+    def test_cross_engine_note(self):
+        from repro.obs.compare import cross_engine_note
+
+        a = {"manifest": {"engine": "columnar"}}
+        b = {"manifest": {"engine": "reference"}}
+        note = cross_engine_note(a, b)
+        assert note and "cross-engine" in note
+        assert cross_engine_note(a, a) is None
+        assert cross_engine_note(a, {"other": 1}) is None  # pre-engine payload
+
+    def test_profiler_columnar_compile_stage(self):
+        from repro.harness.profile import HotPathProfiler
+
+        wl = MACRO_WORKLOADS["400.perlbench"]
+        with _engine_env(None, None):
+            alloc = make_baseline(intern_traces=True)
+            prof = HotPathProfiler()
+            run_workload(
+                alloc, wl.ops(seed=7, num_ops=200), name=wl.name, profiler=prof
+            )
+        summary = prof.summary()
+        assert summary["counters"]["columnar_templates_compiled"] > 0
+        assert summary["counters"]["columnar_uops_compiled"] > 0
+        assert summary["stages"]["columnar_compile"]["entries"] > 0
+
+    def test_reference_engine_never_compiles(self):
+        from repro.harness.profile import HotPathProfiler
+
+        wl = MICROBENCHMARKS["tp_small"]
+        with _engine_env("reference", None):
+            alloc = make_baseline(intern_traces=True)
+            prof = HotPathProfiler()
+            run_workload(
+                alloc, wl.ops(seed=7, num_ops=150), name=wl.name, profiler=prof
+            )
+        summary = prof.summary()
+        assert summary["counters"]["columnar_templates_compiled"] == 0
+        assert "columnar_compile" not in summary["stages"]
+
+
 class TestHashRandomization:
     def test_grid_immune_to_hash_seed(self):
         """Dict-ordered structures (per-set LRU dicts, intern tables,
-        fingerprint maps) key exclusively on integers and value-hashed
-        tuples, so results are identical under any PYTHONHASHSEED — in both
-        the fast and the reference configuration."""
+        fingerprint maps, columnar columns) key exclusively on integers and
+        value-hashed tuples, so results are identical under any
+        PYTHONHASHSEED — on both engines and both cache implementations."""
         code = (
             "import json\n"
             "from repro.harness.experiments import compare_workload, "
@@ -219,16 +381,17 @@ class TestHashRandomization:
             "print(json.dumps(summarize_comparison(c), sort_keys=True))\n"
         )
         src_dir = str(Path(repro.__file__).resolve().parents[1])
+        stripped = ("REPRO_ENGINE", "REPRO_CACHE_IMPL", "REPRO_TRACE_INTERN")
         outs = set()
         for hashseed in ("0", "1", "271828"):
             for overrides in (
                 {},
+                {"REPRO_ENGINE": "reference"},
                 {"REPRO_CACHE_IMPL": "reference", "REPRO_TRACE_INTERN": "0"},
+                {"REPRO_ENGINE": "reference", "REPRO_CACHE_IMPL": "reference"},
             ):
                 env = {
-                    k: v
-                    for k, v in os.environ.items()
-                    if k not in ("REPRO_CACHE_IMPL", "REPRO_TRACE_INTERN")
+                    k: v for k, v in os.environ.items() if k not in stripped
                 }
                 env.update(
                     {"PYTHONHASHSEED": hashseed, "PYTHONPATH": src_dir, **overrides}

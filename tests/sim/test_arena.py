@@ -1,0 +1,129 @@
+"""Arena-slab memory: exact observational parity with the sparse model.
+
+:class:`~repro.sim.arena.ArenaMemory` is the columnar engine's memory
+model; every behavior the allocator can observe — demand-zero reads,
+alignment/null faults, 64-bit wrapping, the ``words_written`` census —
+must match :class:`~repro.sim.memory.SimulatedMemory` word for word.
+Slab commitment (growth) is the one piece with no sparse-model analog, so
+it gets direct structural checks: zero writes commit nothing, and the
+census survives arbitrary overwrite/zero churn at slab boundaries.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.arena import SLAB_BYTES, ArenaMemory, _Slab
+from repro.sim.memory import WORD_SIZE, MemoryError_, SimulatedMemory
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("addr", [0, -8, 1, 7, 9, 4097, (1 << 40) + 4])
+    def test_faults_match_reference(self, addr):
+        arena, ref = ArenaMemory(), SimulatedMemory()
+        for mem in (arena, ref):
+            with pytest.raises(MemoryError_):
+                mem.read_word(addr)
+            with pytest.raises(MemoryError_):
+                mem.write_word(addr, 1)
+        assert arena.words_written() == ref.words_written() == 0
+
+    def test_aligned_boundaries_ok(self):
+        arena = ArenaMemory()
+        for addr in (8, SLAB_BYTES - 8, SLAB_BYTES, SLAB_BYTES + 8):
+            arena.write_word(addr, addr)
+            assert arena.read_word(addr) == addr
+
+
+class TestDemandZero:
+    def test_unwritten_reads_are_zero_and_commit_nothing(self):
+        arena = ArenaMemory()
+        for addr in (8, 1 << 20, 1 << 44):
+            assert arena.read_word(addr) == 0
+        assert arena._slabs == {}
+
+    def test_zero_write_to_fresh_window_commits_nothing(self):
+        arena = ArenaMemory()
+        arena.write_word(1 << 20, 0)
+        assert arena._slabs == {}
+        assert arena.words_written() == 0
+
+    def test_zeroing_a_word_keeps_census_exact(self):
+        arena, ref = ArenaMemory(), SimulatedMemory()
+        addr = 1 << 20
+        for mem in (arena, ref):
+            mem.write_word(addr, 42)
+            mem.write_word(addr, 0)
+        assert arena.read_word(addr) == ref.read_word(addr) == 0
+        assert arena.words_written() == ref.words_written() == 0
+
+
+class TestSlabGrowth:
+    def test_one_slab_per_touched_window(self):
+        arena = ArenaMemory()
+        base = 1 << 30
+        for k in range(5):
+            arena.write_word(base + k * SLAB_BYTES, k + 1)
+        assert len(arena._slabs) == 5
+        # Every word of one slab window resolves inside that slab.
+        arena.write_word(base + 8, 7)
+        arena.write_word(base + SLAB_BYTES - 8, 9)
+        assert len(arena._slabs) == 5
+        assert arena.read_word(base + 8) == 7
+        assert arena.read_word(base + SLAB_BYTES - 8) == 9
+
+    def test_boundary_words_land_in_adjacent_slabs(self):
+        arena = ArenaMemory()
+        last = SLAB_BYTES - WORD_SIZE  # final word of slab 0's window
+        first = SLAB_BYTES  # first word of slab 1's window
+        arena.write_word(last, 0xAAAA)
+        arena.write_word(first, 0xBBBB)
+        assert len(arena._slabs) == 2
+        assert arena.read_word(last) == 0xAAAA
+        assert arena.read_word(first) == 0xBBBB
+
+    def test_wrapping_matches_reference(self):
+        arena, ref = ArenaMemory(), SimulatedMemory()
+        addr, value = 1 << 25, (1 << 64) + 12345
+        for mem in (arena, ref):
+            mem.write_word(addr, value)
+        assert arena.read_word(addr) == ref.read_word(addr) == 12345
+
+
+class TestCensusParity:
+    def test_randomized_stream_matches_reference(self):
+        """Overwrites, zeroings, and re-writes across several slabs keep the
+        nonzero-word census identical to the sparse dict's size."""
+        rng = random.Random(1234)
+        arena, ref = ArenaMemory(), SimulatedMemory()
+        addrs = [
+            (1 << 30) + 8 * rng.randrange(4 * SLAB_BYTES // 8)
+            for _ in range(200)
+        ]
+        for step in range(3000):
+            addr = rng.choice(addrs)
+            if rng.random() < 0.3:
+                assert arena.read_word(addr) == ref.read_word(addr)
+            else:
+                value = rng.choice([0, 0, 1, 7, 1 << 63, (1 << 64) - 8])
+                arena.write_word(addr, value)
+                ref.write_word(addr, value)
+            if step % 250 == 0:
+                assert arena.words_written() == ref.words_written()
+        assert arena.words_written() == ref.words_written()
+        for addr in addrs:
+            assert arena.read_word(addr) == ref.read_word(addr)
+
+
+class TestSlabRepr:
+    def test_value_based_repr_ignores_trailing_zeros(self):
+        """State-parity tests compare machines via repr; two slabs holding
+        the same words must render identically even if one was churned."""
+        a, b = _Slab(), _Slab()
+        a.words[3] = 17
+        b.words[3] = 17
+        b.words[100] = 5
+        b.words[100] = 0  # churn back to zero
+        assert repr(a) == repr(b)
+        a.words[4] = 1
+        assert repr(a) != repr(b)
