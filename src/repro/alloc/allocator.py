@@ -44,13 +44,21 @@ class Path(enum.Enum):
 MALLOC_PATHS = frozenset({Path.FAST, Path.CENTRAL, Path.PAGE_ALLOC, Path.LARGE})
 FREE_PATHS = frozenset({Path.FREE_FAST, Path.FREE_SLOW, Path.FREE_LARGE})
 
-#: Emission sites eligible for template interning: the loop-free fast paths.
-#: Slow paths (central refills, scavenges, span work) contain data-dependent
-#: loops whose token streams are effectively unique — interning them would
-#: bloat the table for zero hit rate, so they build ad hoc.
+#: Emission sites eligible for template interning.  Fast paths are loop-free;
+#: the refill slow paths contain data-dependent loops (span carving, batch
+#: moves, free-list probes), but every loop count is now a structural token
+#: (``carve``, ``tc_release``, ``pm_probes``, ...) so their shapes key
+#: templates too — a workload's refill shapes repeat heavily (same size
+#: class, same batch size, same carve count), which is what lets the fused
+#: slow-path twins (:mod:`repro.alloc.slowpath`) intern instead of
+#: materializing.  Only LARGE/FREE_LARGE still build ad hoc: whole-span
+#: traffic is rare and its coalescing shapes genuinely don't repeat.
 _INTERN_SITES = {
     ("malloc", Path.FAST): "malloc:fast",
+    ("malloc", Path.CENTRAL): "malloc:central",
+    ("malloc", Path.PAGE_ALLOC): "malloc:page",
     ("free", Path.FREE_FAST): "free:fast",
+    ("free", Path.FREE_SLOW): "free:slow",
 }
 
 
@@ -142,12 +150,16 @@ class TCMalloc:
         self.records: list[CallRecord] = []
         self.keep_records: bool = True
         self._fastpath = None
+        self._slowpath = None
         if is_columnar():
-            # Columnar engine: attach the fused priced twin of this
-            # allocator's fast paths (None for unregistered subclasses).
+            # Columnar engine: attach the fused priced twins of this
+            # allocator's fast paths and refill slow paths (None for
+            # unregistered subclasses).
             from repro.alloc.fastpath import fastpath_for
+            from repro.alloc.slowpath import slowpath_for
 
             self._fastpath = fastpath_for(self)
+            self._slowpath = slowpath_for(self)
 
     # ------------------------------------------------------------------ malloc
     def malloc(self, size: int) -> tuple[int, CallRecord]:
@@ -155,6 +167,11 @@ class TCMalloc:
         fastpath = self._fastpath
         if fastpath is not None:
             out = fastpath.malloc(size)
+            if out is not None:
+                return out
+        slowpath = self._slowpath
+        if slowpath is not None:
+            out = slowpath.malloc(size)
             if out is not None:
                 return out
         if size <= 0:
@@ -182,10 +199,15 @@ class TCMalloc:
             else:
                 path = Path.CENTRAL
         else:
+            prof = self.machine.profiler if em.touches_hierarchy else None
+            t0 = perf_counter() if prof is not None else 0.0
             cl, alloc_size = 0, self._pages_for(size) << K_PAGE_SHIFT
             span = self.page_heap.allocate_span(em, self._pages_for(size))
             ptr = span.start_addr
             path = Path.LARGE
+            if prof is not None:
+                prof.add_stage("refill", perf_counter() - t0)
+                prof.count("refill_entries")
 
         if sampled:
             self._record_sample(em, size)
@@ -293,6 +315,11 @@ class TCMalloc:
             record = fastpath.free(ptr, sized_hint)
             if record is not None:
                 return record
+        slowpath = self._slowpath
+        if slowpath is not None:
+            record = slowpath.free(ptr, sized_hint)
+            if record is not None:
+                return record
         if ptr not in self.live:
             raise ValueError(f"free of unallocated pointer {ptr:#x}")
         size, cl = self.live.pop(ptr)
@@ -302,11 +329,16 @@ class TCMalloc:
 
         if cl == 0:
             # Large span: always through the pagemap.
+            prof = self.machine.profiler if em.touches_hierarchy else None
+            t0 = perf_counter() if prof is not None else 0.0
             span, uop = self.page_heap.emit_pagemap_lookup(em, ptr)
             if span is None:
                 raise AssertionError("live large pointer must map to a span")
             self.page_heap.free_span(em, span)
             path = Path.FREE_LARGE
+            if prof is not None:
+                prof.add_stage("refill", perf_counter() - t0)
+                prof.count("refill_entries")
         else:
             # Sized and non-sized frees emit different lookups but share the
             # fast path; no branch distinguishes them, so token it.

@@ -23,7 +23,7 @@ from repro.alloc.constants import AllocatorConfig
 from repro.alloc.context import Emitter
 from repro.alloc.page_heap import PageHeap
 from repro.alloc.size_classes import SizeClassTable
-from repro.alloc.span import Span, SpanState
+from repro.alloc.span import Span, SpanList, SpanState
 from repro.alloc.transfer_cache import TransferCache
 from repro.sim.memory import NULL
 from repro.sim.uop import Tag
@@ -49,7 +49,7 @@ class CentralFreeList:
     table: SizeClassTable
     page_heap: PageHeap
     config: AllocatorConfig = field(default_factory=AllocatorConfig)
-    nonempty_spans: list[Span] = field(default_factory=list)
+    nonempty_spans: SpanList = field(default_factory=SpanList)
     num_free_objects: int = 0
     stats: CentralStats = field(default_factory=CentralStats)
     busy_until: int = 0
@@ -77,10 +77,15 @@ class CentralFreeList:
         if num <= 0:
             raise ValueError("num must be positive")
         self.stats.remove_calls += 1
+        # Structural tokens: refill shapes are interned now, so every
+        # data-dependent decision (batch size, unpark, populate points)
+        # must key the template (see TraceBuilder.note).
+        em.note(("central_remove", num))
         lock = self._emit_lock(em, deps, owner)
         # Fast mid-tier: a parked transfer batch satisfies a full-batch
         # request without touching any span.
         parked = self.transfer.try_remove(em, num, deps=(lock,))
+        em.note(("transfer_unpark", parked is not None))
         if parked is not None:
             em.fixed(self.config.costs.lock_release, deps=(lock,), tag=Tag.SLOW_PATH)
             self.stats.objects_moved_out += len(parked)
@@ -89,6 +94,7 @@ class CentralFreeList:
         dep: tuple[int, ...] = (lock,)
         while len(taken) < num:
             if not self.nonempty_spans:
+                em.note(("populate_at", len(taken)))
                 if not self._populate(em, dep):
                     break
             span = self.nonempty_spans[-1]
@@ -107,12 +113,14 @@ class CentralFreeList:
         entirely free go back to the page heap."""
         self.stats.insert_calls += 1
         lock = self._emit_lock(em, deps, owner)
-        if self.transfer.try_insert(em, ptrs, deps=(lock,)):
+        parked = self.transfer.try_insert(em, ptrs, deps=(lock,))
+        em.note(("transfer_park", parked))
+        if parked:
             em.fixed(self.config.costs.lock_release, deps=(lock,), tag=Tag.SLOW_PATH)
             self.stats.objects_moved_in += len(ptrs)
             return
         dep: tuple[int, ...] = (lock,)
-        for ptr in ptrs:
+        for i, ptr in enumerate(ptrs):
             span = self.page_heap.span_of_addr(ptr)
             if span is None or span.size_class != self.size_class:
                 raise ValueError(f"object {ptr:#x} does not belong to class {self.size_class}")
@@ -120,6 +128,7 @@ class CentralFreeList:
             dep = (uop,)
             self.num_free_objects += 1
             if span.objects_free == self.table.objects_per_span(self.size_class):
+                em.note(("release_at", i))
                 self._release_span(em, span)
         em.fixed(self.config.costs.lock_release, deps=dep, tag=Tag.SLOW_PATH)
         self.stats.objects_moved_in += len(ptrs)
@@ -170,6 +179,7 @@ class CentralFreeList:
         self.page_heap.spans.register_interior(span)
         # Link every object through simulated memory: one store each.
         num_objects = span.length_bytes // obj_size
+        em.note(("carve", num_objects))
         addr = span.start_addr
         prev_uop = None
         for i in range(num_objects):

@@ -45,74 +45,16 @@ from time import perf_counter
 
 from repro.alloc.page_heap import _PAGEMAP_LEAF_PAGES, K_PAGE_SHIFT
 from repro.alloc.size_classes import class_index
+from repro.sim.columns import StructBuilder
 from repro.sim.memory import NULL
-from repro.sim.uop import Tag, Trace, Uop, UopKind
-
-_ALU = UopKind.ALU
-_LOAD = UopKind.LOAD
-_STORE = UopKind.STORE
-_BRANCH = UopKind.BRANCH
-_MALLACC = UopKind.MALLACC
-_PREFETCH = UopKind.PREFETCH
-
+from repro.sim.uop import Tag
 
 # --------------------------------------------------------------------------
-# Structure tables: the static half of a fast-path trace.
-#
-# A structure is a tuple of (kind, deps, addr_slot, tag) records — everything
-# about a uop except its latency and concrete address.  ``addr_slot`` indexes
-# the per-call address tuple the twin assembles; None for uops without an
-# address.  Structures are built once per shape and shared; together with a
-# latency tuple they materialize into a Trace with the same fingerprint the
-# TraceBuilder would have produced.
+# Structure tables live in repro.sim.columns (shared with the slow-path
+# twins, which compile them lazily from token streams).  Fast-path shapes
+# are enumerable, so this module builds its structures eagerly below.
 
-
-class _StructBuilder:
-    """Mirror of the TraceBuilder call surface recording structure only."""
-
-    def __init__(self) -> None:
-        self.rec: list[tuple] = []
-
-    def _add(self, kind, deps, slot, tag) -> int:
-        self.rec.append((kind, deps, slot, tag))
-        return len(self.rec) - 1
-
-    def alu(self, deps=(), tag=Tag.ADDRESSING) -> int:
-        return self._add(_ALU, deps, None, tag)
-
-    def load(self, slot, deps=(), tag=Tag.ADDRESSING) -> int:
-        return self._add(_LOAD, deps, slot, tag)
-
-    def store(self, slot, deps=(), tag=Tag.ADDRESSING) -> int:
-        return self._add(_STORE, deps, slot, tag)
-
-    def branch(self, deps=(), tag=Tag.ADDRESSING) -> int:
-        return self._add(_BRANCH, deps, None, tag)
-
-    def mallacc(self, deps=()) -> int:
-        return self._add(_MALLACC, deps, None, Tag.MALLACC)
-
-    def prefetch(self, slot, deps=()) -> int:
-        return self._add(_PREFETCH, deps, slot, Tag.MALLACC)
-
-    def done(self) -> tuple:
-        return tuple(self.rec)
-
-
-def _materialize(struct: tuple, addrs: tuple, lats: tuple) -> Trace:
-    """Rebuild the full Trace for an intern miss (or validate mode)."""
-    uops = [
-        Uop(kind, deps, None if slot is None else addrs[slot], lats[i], tag)
-        for i, (kind, deps, slot, tag) in enumerate(struct)
-    ]
-    trace = Trace(uops=uops)
-    trace._fingerprint = tuple(
-        [
-            (rec[0]._value_, lats[i], rec[1], rec[3]._value_)
-            for i, rec in enumerate(struct)
-        ]
-    )
-    return trace
+_StructBuilder = StructBuilder
 
 
 # Address-slot layout for malloc structures:
@@ -813,7 +755,7 @@ def _finish(a, m, prof, site, tokens, lats, struct, addrs, *, kind, size, cl,
     if prof is not None:
         t0 = perf_counter()
     trace = m.interner.intern(
-        site, tokens, lats, lambda: _materialize(struct, addrs, lats)
+        site, tokens, lats, lambda: m.timing.materialize_columnar(struct, addrs, lats)
     )
     if prof is not None:
         t1 = perf_counter()

@@ -264,3 +264,14 @@ class MultiThreadAllocator:
         for view in self.threads:
             view.check_conservation()
         self.shared.page_heap.check_invariants()
+
+
+# Columnar-engine refill twin for thread views: every emission hook a
+# _ThreadView inherits is the Mallacc variant (MallaccFastPathMixin), so the
+# Mallacc refill twin is its exact mirror.  No fast-path twin is registered
+# — per-thread fast paths stay on the reference emitter — but refills
+# dominate MT slow traffic and carry the lock/transfer-cache state the
+# differential grid pins.
+from repro.alloc.slowpath import MallaccSlowPath, register_slowpath  # noqa: E402
+
+register_slowpath(_ThreadView, MallaccSlowPath)

@@ -100,11 +100,13 @@ class PageHeap:
         if num_pages <= 0:
             raise ValueError("num_pages must be positive")
         span = self._search_free(em, num_pages, deps)
+        em.note(("pm_grow", span is None))
         if span is None:
             self._grow_heap(em, num_pages, deps)
             span = self._search_free(em, num_pages, deps)
             if span is None:
                 raise AssertionError("heap growth must satisfy the request")
+        em.note(("pm_split", span.num_pages > num_pages))
         if span.num_pages > num_pages:
             leftover = span.split(num_pages)
             self.spans.register(leftover)
@@ -168,6 +170,7 @@ class PageHeap:
                 if self.free_lists[length]:
                     victim = self.free_lists[length][-1]
                     break
+        em.note(("pm_madvise", victim is not None))
         if victim is None:
             return
         self._remove_free(victim)
@@ -179,6 +182,8 @@ class PageHeap:
     # -- internals ------------------------------------------------------------
     def _search_free(self, em: Emitter, num_pages: int, deps: tuple[int, ...]) -> Span | None:
         probe = None
+        probes = 0
+        found: Span | None = None
         for length in range(num_pages, K_MAX_PAGES + 1):
             # Each probed list head is one load.
             probe = em.load_table(
@@ -186,13 +191,19 @@ class PageHeap:
                 deps=deps if probe is None else (probe,),
                 tag=Tag.SLOW_PATH,
             )
+            probes += 1
             bucket = self.free_lists.get(length)
             if bucket:
-                return bucket.pop()
-        for i, span in enumerate(self.large_list):
-            if span.num_pages >= num_pages:
-                return self.large_list.pop(i)
-        return None
+                found = bucket.pop()
+                break
+        if found is None:
+            for i, span in enumerate(self.large_list):
+                if span.num_pages >= num_pages:
+                    found = self.large_list.pop(i)
+                    break
+        # The probe count pins the dependent-load chain for the template.
+        em.note(("pm_probes", probes))
+        return found
 
     def _push_free(self, span: Span) -> None:
         if span.num_pages <= K_MAX_PAGES:

@@ -61,6 +61,51 @@ class Span:
         return leftover
 
 
+class SpanList:
+    """An ordered span collection with O(1) membership and removal.
+
+    ``CentralFreeList.nonempty_spans`` was a plain list, which made
+    ``_push_to_span``'s membership test and ``_release_span``'s removal
+    linear scans per object — measurable on the refill path.  This keeps
+    list semantics (append order, ``[-1]``, ``pop()`` from the tail) on
+    top of an insertion-ordered dict keyed by object identity.  Spans on
+    the list are distinct live objects (distinct page ranges), so identity
+    keying matches the old equality semantics exactly; entries are always
+    removed before a span object can die, so id reuse cannot alias.
+    """
+
+    __slots__ = ("_spans",)
+
+    def __init__(self) -> None:
+        self._spans: dict[int, Span] = {}
+
+    def append(self, span: "Span") -> None:
+        self._spans[id(span)] = span
+
+    def pop(self) -> "Span":
+        return self._spans.popitem()[1]
+
+    def remove(self, span: "Span") -> None:
+        del self._spans[id(span)]
+
+    def __contains__(self, span: object) -> bool:
+        return id(span) in self._spans
+
+    def __getitem__(self, index: int) -> "Span":
+        if index == -1:
+            return next(reversed(self._spans.values()))
+        return list(self._spans.values())[index]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __bool__(self) -> bool:
+        return bool(self._spans)
+
+    def __iter__(self):
+        return iter(self._spans.values())
+
+
 @dataclass
 class SpanSet:
     """Bookkeeping for all spans, keyed by page (the functional pagemap)."""

@@ -299,8 +299,10 @@ class MallaccTCMalloc(MallaccFastPathMixin, TCMalloc):
         self._attach_mallacc(cache_config)
 
 
-# Columnar-engine fused twin for the exact MallaccTCMalloc type (subclasses
+# Columnar-engine fused twins for the exact MallaccTCMalloc type (subclasses
 # overriding emission hooks must register their own — see repro.alloc.fastpath).
 from repro.alloc.fastpath import MallaccFastPath, register_fastpath  # noqa: E402
+from repro.alloc.slowpath import MallaccSlowPath, register_slowpath  # noqa: E402
 
 register_fastpath(MallaccTCMalloc, MallaccFastPath)
+register_slowpath(MallaccTCMalloc, MallaccSlowPath)

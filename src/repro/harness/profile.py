@@ -7,11 +7,14 @@ optimization round measured instead of guessed.  A
 collects, per replay:
 
 * **stages** — wall-clock seconds and entry counts for ``replay`` (the whole
-  op loop, timed by the runner), ``build`` (trace materialization or intern
-  lookup in ``TCMalloc._finish``), ``schedule`` (``TimingModel.run`` plus
-  ablation variants), ``warming`` (a sampled replay's functional
-  fast-forward stretches, timed by the sampled runner).  The residual
-  ``replay - build - schedule - warming`` is the detailed-mode functional
+  op loop, timed by the runner), ``refill`` (slow-path refill emission:
+  central-cache fetches/releases, scavenges and large-span traffic, timed
+  both in the reference machinery and in the fused columnar twins),
+  ``build`` (trace materialization or intern lookup in
+  ``TCMalloc._finish``), ``schedule`` (``TimingModel.run`` plus ablation
+  variants), ``warming`` (a sampled replay's functional fast-forward
+  stretches, timed by the sampled runner).  The residual ``replay - refill
+  - build - schedule - warming`` is the remaining detailed-mode functional
   emission work (memory ops, hierarchy probes, free-list bookkeeping) and
   is reported as the derived ``emission`` stage.
 * **counters** — allocator calls and uops seen, plus end-of-run deltas of
@@ -43,7 +46,15 @@ from time import perf_counter
 #: fast-forward stretch of a sampled replay (skip + warm modes);
 #: ``columnar_compile`` is template compilation under the columnar engine,
 #: nested *inside* ``schedule`` (so it is not part of the emission residual).
-STAGE_ORDER = ("replay", "emission", "build", "schedule", "columnar_compile", "warming")
+STAGE_ORDER = (
+    "replay",
+    "emission",
+    "refill",
+    "build",
+    "schedule",
+    "columnar_compile",
+    "warming",
+)
 
 
 @dataclass
@@ -93,7 +104,7 @@ class HotPathProfiler:
             # the stage shares sum past 1.
             accounted = sum(
                 self.stages[name].seconds
-                for name in ("build", "schedule", "warming")
+                for name in ("refill", "build", "schedule", "warming")
                 if name in self.stages
             )
             stages["emission"] = {

@@ -11,6 +11,9 @@ these adapters lift them into one registry after the fact, which is how the
   :class:`~repro.harness.profile.HotPathProfiler`;
 * :func:`stats_registry` — a ``TraceCacheStats``/``TraceInternStats``
   hits/misses/evictions carrier;
+* :func:`refill_summary` — the slow-path refill stage of a profiler
+  (seconds, entries, share of replay wall time), as a dict and optional
+  gauges;
 * :func:`matrix_registry` — re-hydrates and merges the per-cell registries
   a matrix run serialized into its checkpoints;
 * :func:`traffic_registry` — a
@@ -84,6 +87,35 @@ def profiler_registry(
     for name, value in profiler.counters.items():
         reg.counter(f"profile_{name}", **labels).inc(value)
     return reg
+
+
+def refill_summary(
+    profiler, registry: MetricsRegistry | None = None, **labels: object
+) -> dict:
+    """Summarize the slow-path refill machinery from a profiler: seconds
+    spent in refill emission (central-cache fetches/releases, scavenges,
+    large-span traffic — reference hooks or fused columnar twins), entry
+    and segment counts, and the refill share of total replay wall time.
+
+    Optionally lifts the summary into ``registry`` (gauges, so re-bridging
+    the same profiler twice does not double-count)."""
+    refill = profiler.stages.get("refill")
+    replay = profiler.stages.get("replay")
+    seconds = refill.seconds if refill is not None else 0.0
+    entries = refill.entries if refill is not None else 0
+    segments = profiler.counters.get("refill_entries", 0)
+    share = seconds / replay.seconds if replay is not None and replay.seconds else 0.0
+    summary = {
+        "refill_seconds": seconds,
+        "refill_entries": entries,
+        "refill_segments": segments,
+        "refill_share": share,
+    }
+    if registry is not None:
+        registry.gauge("refill_seconds", **labels).set(seconds)
+        registry.gauge("refill_share", **labels).set(share)
+        registry.gauge("refill_segments", **labels).set(float(segments))
+    return summary
 
 
 def stats_registry(

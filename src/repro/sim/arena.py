@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from zlib import crc32
 
-from repro.sim.memory import WORD_SIZE, MemoryError_
+from repro.sim.memory import MemoryError_
 
 _MASK64 = 0xFFFF_FFFF_FFFF_FFFF
 
@@ -56,7 +56,7 @@ class ArenaMemory:
 
     def read_word(self, addr: int) -> int:
         """Return the 64-bit word at ``addr`` (0 if never written)."""
-        if addr <= 0 or addr % WORD_SIZE:
+        if addr <= 0 or addr & 7:  # WORD_SIZE == 8
             raise MemoryError_(f"unaligned or null access at {addr:#x}")
         slab = self._slabs.get(addr >> SLAB_SHIFT)
         if slab is None:
@@ -65,7 +65,7 @@ class ArenaMemory:
 
     def write_word(self, addr: int, value: int) -> None:
         """Store a 64-bit word at ``addr``."""
-        if addr <= 0 or addr % WORD_SIZE:
+        if addr <= 0 or addr & 7:  # WORD_SIZE == 8
             raise MemoryError_(f"unaligned or null access at {addr:#x}")
         value &= _MASK64
         slab = self._slabs.get(addr >> SLAB_SHIFT)

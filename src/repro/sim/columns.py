@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from array import array
 
-from repro.sim.uop import Tag, Trace, UopKind
+from repro.sim.uop import Tag, Trace, Uop, UopKind
 
 #: Kind codes, index == position in the column.  Order is part of the
 #: compiled representation (warm banks pickle columns), so append only.
@@ -181,12 +181,13 @@ def schedule_columns(cols: TraceColumns, config):
 
     issue_times: list[int] = []
     ready_times: list[int] = []
-    slots: dict[int, int] = {}
-    load_slots: dict[int, int] = {}
-    store_slots: dict[int, int] = {}
-    slots_get = slots.get
-    load_get = load_slots.get
-    store_get = store_slots.get
+    # Per-cycle port counters as flat lists (cycle-indexed) — the schedule
+    # probes them once or twice per uop, and list indexing beats dict
+    # hashing there.  Grown geometrically as the frontier advances.
+    cap = 256
+    slots = [0] * cap
+    load_slots = [0] * cap
+    store_slots = [0] * cap
     issue_append = issue_times.append
     ready_append = ready_times.append
 
@@ -210,17 +211,28 @@ def schedule_columns(cols: TraceColumns, config):
         flag = flags[i]
         is_load = flag & 1  # FLAG_LOAD_PORT
         is_store = flag & 2  # FLAG_STORE_PORT
+        if cycle >= cap:
+            ext = cycle + 256 - cap
+            slots.extend([0] * ext)
+            load_slots.extend([0] * ext)
+            store_slots.extend([0] * ext)
+            cap += ext
         while (
-            slots_get(cycle, 0) >= width
-            or (is_load and load_get(cycle, 0) >= load_ports)
-            or (is_store and store_get(cycle, 0) >= store_ports)
+            slots[cycle] >= width
+            or (is_load and load_slots[cycle] >= load_ports)
+            or (is_store and store_slots[cycle] >= store_ports)
         ):
             cycle += 1
-        slots[cycle] = slots_get(cycle, 0) + 1
+            if cycle >= cap:
+                slots.extend([0] * 256)
+                load_slots.extend([0] * 256)
+                store_slots.extend([0] * 256)
+                cap += 256
+        slots[cycle] += 1
         if is_load:
-            load_slots[cycle] = load_get(cycle, 0) + 1
+            load_slots[cycle] += 1
         elif is_store:
-            store_slots[cycle] = store_get(cycle, 0) + 1
+            store_slots[cycle] += 1
         issue_append(cycle)
 
         ready = cycle + lats[i]
@@ -267,12 +279,10 @@ def schedule_columns_ablated(cols: TraceColumns, removed_mask: int, config):
     eff_append = eff_ready.append
     issue_times: list[int] = []
     ready_times: list[int] = []
-    slots: dict[int, int] = {}
-    load_slots: dict[int, int] = {}
-    store_slots: dict[int, int] = {}
-    slots_get = slots.get
-    load_get = load_slots.get
-    store_get = store_slots.get
+    cap = 256
+    slots = [0] * cap
+    load_slots = [0] * cap
+    store_slots = [0] * cap
 
     completion = 0
     retire_times: list[int] = []
@@ -297,17 +307,28 @@ def schedule_columns_ablated(cols: TraceColumns, removed_mask: int, config):
         flag = flags[i]
         is_load = flag & 1
         is_store = flag & 2
+        if cycle >= cap:
+            ext = cycle + 256 - cap
+            slots.extend([0] * ext)
+            load_slots.extend([0] * ext)
+            store_slots.extend([0] * ext)
+            cap += ext
         while (
-            slots_get(cycle, 0) >= width
-            or (is_load and load_get(cycle, 0) >= load_ports)
-            or (is_store and store_get(cycle, 0) >= store_ports)
+            slots[cycle] >= width
+            or (is_load and load_slots[cycle] >= load_ports)
+            or (is_store and store_slots[cycle] >= store_ports)
         ):
             cycle += 1
-        slots[cycle] = slots_get(cycle, 0) + 1
+            if cycle >= cap:
+                slots.extend([0] * 256)
+                load_slots.extend([0] * 256)
+                store_slots.extend([0] * 256)
+                cap += 256
+        slots[cycle] += 1
         if is_load:
-            load_slots[cycle] = load_get(cycle, 0) + 1
+            load_slots[cycle] += 1
         elif is_store:
-            store_slots[cycle] = store_get(cycle, 0) + 1
+            store_slots[cycle] += 1
         issue_times.append(cycle)
 
         ready = cycle + lats[i]
@@ -335,3 +356,222 @@ def removed_tag_mask(tags) -> int:
     for tag in tags:
         mask |= 1 << tag_code[tag]
     return mask
+
+
+# --------------------------------------------------------------------------
+# Structure tables: the static half of a fused-twin trace.
+#
+# The priced twins (repro.alloc.fastpath, repro.alloc.slowpath) execute an
+# allocator call as straight-line code and intern the result; a *structure*
+# is everything about the trace except its latencies and concrete addresses —
+# a tuple of (kind, deps, addr_slot, tag) records, where ``addr_slot``
+# indexes the per-call address tuple the twin assembles (None for uops
+# without an address).  One structure serves every call of that shape;
+# together with a latency tuple it materializes into a Trace with the same
+# fingerprint the TraceBuilder would have produced.
+
+
+class StructBuilder:
+    """Mirror of the TraceBuilder call surface recording structure only."""
+
+    def __init__(self) -> None:
+        self.rec: list[tuple] = []
+
+    def _add(self, kind, deps, slot, tag) -> int:
+        self.rec.append((kind, deps, slot, tag))
+        return len(self.rec) - 1
+
+    def alu(self, deps=(), tag=Tag.ADDRESSING) -> int:
+        return self._add(UopKind.ALU, deps, None, tag)
+
+    def load(self, slot, deps=(), tag=Tag.ADDRESSING) -> int:
+        return self._add(UopKind.LOAD, deps, slot, tag)
+
+    def store(self, slot, deps=(), tag=Tag.ADDRESSING) -> int:
+        return self._add(UopKind.STORE, deps, slot, tag)
+
+    def branch(self, deps=(), tag=Tag.ADDRESSING) -> int:
+        return self._add(UopKind.BRANCH, deps, None, tag)
+
+    def mallacc(self, deps=()) -> int:
+        return self._add(UopKind.MALLACC, deps, None, Tag.MALLACC)
+
+    def prefetch(self, slot, deps=()) -> int:
+        return self._add(UopKind.PREFETCH, deps, slot, Tag.MALLACC)
+
+    def fixed(self, deps=(), tag=Tag.SLOW_PATH) -> int:
+        return self._add(UopKind.FIXED, deps, None, tag)
+
+    def done(self) -> tuple:
+        return tuple(self.rec)
+
+
+def materialize_struct(struct: tuple, addrs, lats) -> Trace:
+    """Rebuild the full Trace for an intern miss (or validate mode)."""
+    uops = [
+        Uop(kind, deps, None if slot is None else addrs[slot], lats[i], tag)
+        for i, (kind, deps, slot, tag) in enumerate(struct)
+    ]
+    trace = Trace(uops=uops)
+    trace._fingerprint = tuple(
+        [
+            (rec[0]._value_, lats[i], rec[1], rec[3]._value_)
+            for i, rec in enumerate(struct)
+        ]
+    )
+    return trace
+
+
+class StructTrace(Trace):
+    """A twin-materialized trace: columns and fingerprint are precomputed
+    straight from the structure, and the ``Uop`` objects are rebuilt only if
+    something actually walks them (ablation rewrites, debugging, a warm bank
+    loaded by reference-engine code).  The columnar scheduler never does —
+    it reads ``_columns`` — so the common case skips object construction
+    entirely."""
+
+    def __init__(self, struct, addrs, lats):
+        self._struct = struct
+        self._addrs = addrs
+        self._lats = lats
+
+    @property
+    def uops(self):
+        uops = self.__dict__.get("_uops")
+        if uops is None:
+            addrs = self._addrs
+            lats = self._lats
+            uops = self._uops = [
+                Uop(kind, deps, None if slot is None else addrs[slot], lats[i], tag)
+                for i, (kind, deps, slot, tag) in enumerate(self._struct)
+            ]
+        return uops
+
+    def __len__(self) -> int:
+        return len(self._struct)
+
+
+def compile_struct_columns(struct: tuple) -> tuple:
+    """The static half of :class:`TraceColumns` for one structure.
+
+    Everything except the per-call latencies and cache-line indices is a
+    pure function of the structure, so it is compiled once and shared (the
+    arrays are never mutated) by every materialization of that shape:
+    ``(n, kinds, flags, tags, tag_mask, dep_indptr, dep_indices,
+    slot_pairs, fp_parts, lines0)``.  ``slot_pairs`` lists the
+    ``(uop_index, addr_slot)`` pairs to patch into a copy of the all--1
+    ``lines0`` template; ``fp_parts`` holds the ``(kind, deps, tag)``
+    fingerprint records the per-call latencies splice into."""
+    kind_code = KIND_CODE
+    tag_code = TAG_CODE
+    n = len(struct)
+    kinds = array("b", bytes(n))
+    flags = array("b", bytes(n))
+    tags = array("b", bytes(n))
+    dep_indptr = array("i", bytes(4 * (n + 1)))
+    dep_indices = array("i")
+    lines0 = array("q", [-1]) * n
+    tag_mask = 0
+    total = 0
+    slot_pairs = []
+    fp_parts = []
+    for i, (kind, deps, slot, tag) in enumerate(struct):
+        code = kind_code[kind]
+        kinds[i] = code
+        flag = 0
+        if code == _CODE_LOAD:
+            flag = FLAG_LOAD_PORT
+        elif code == _CODE_PREFETCH:
+            flag = FLAG_LOAD_PORT | FLAG_BUFFERED
+        elif code == _CODE_STORE:
+            flag = FLAG_STORE_PORT | FLAG_BUFFERED
+        flags[i] = flag
+        tcode = tag_code[tag]
+        tags[i] = tcode
+        tag_mask |= 1 << tcode
+        if slot is not None:
+            slot_pairs.append((i, slot))
+        if deps:
+            dep_indices.extend(deps)
+            total += len(deps)
+        dep_indptr[i + 1] = total
+        fp_parts.append((kind._value_, deps, tag._value_))
+    return (
+        n,
+        kinds,
+        flags,
+        tags,
+        tag_mask,
+        dep_indptr,
+        dep_indices,
+        tuple(slot_pairs),
+        tuple(fp_parts),
+        lines0,
+    )
+
+
+#: Process-wide static column templates, keyed by structure id.  Structures
+#: are immortal (fast-path module constants and the process-wide
+#: :class:`StructStore` never evict), and each entry pins its structure
+#: tuple anyway, so ids stay valid.
+_STRUCT_STATIC: dict[int, tuple] = {}
+
+
+def struct_columns_cached(struct: tuple) -> tuple:
+    """The shared static column template for ``struct`` (compiling once per
+    process — the arrays are read-only, so every machine can use them)."""
+    entry = _STRUCT_STATIC.get(id(struct))
+    if entry is None:
+        entry = _STRUCT_STATIC[id(struct)] = (struct, compile_struct_columns(struct))
+    return entry[1]
+
+
+def materialize_struct_columns(static: tuple, struct, addrs, lats) -> Trace:
+    """Materialize an intern miss directly to scheduled-ready columns.
+
+    The trace carries ``_columns`` from birth, so the first ``run`` walks
+    primitive arrays instead of object-walking fresh ``Uop`` instances —
+    the reference path every miss used to pay."""
+    (n, kinds, flags, tags, tag_mask, indptr, indices, slot_pairs, fp_parts, lines0) = static
+    lines = array("q", lines0)
+    for i, slot in slot_pairs:
+        lines[i] = addrs[slot] >> 6
+    trace = StructTrace(struct, addrs, lats)
+    trace._columns = TraceColumns(
+        n, kinds, flags, array("q", lats), indptr, indices, tags, lines, tag_mask
+    )
+    trace._fingerprint = tuple(
+        [(part[0], lat, part[1], part[2]) for part, lat in zip(fp_parts, lats)]
+    )
+    return trace
+
+
+class StructStore:
+    """Compiled structures for *parameterized* (variable-length) shapes.
+
+    Fast-path shapes are enumerable, so :mod:`repro.alloc.fastpath` builds
+    its structures eagerly.  Refill shapes are parameterized by size class
+    and data-dependent counts (batch moves, span carving, free-list probes);
+    every such parameter is a structural token, so the template is keyed by
+    the instance-independent ``(site, tokens)`` pair — the counts and the
+    size class are *inside* the tokens — and compiled from the token stream
+    on first sight by a site-specific compiler.  Structures are pure
+    functions of the key, so one process-wide store serves every machine,
+    and the compiled columns of the materialized traces ship across
+    processes in the warm bank exactly like fast-path templates do.
+    """
+
+    __slots__ = ("_structs", "compiled")
+
+    def __init__(self) -> None:
+        self._structs: dict[tuple, tuple] = {}
+        self.compiled = 0
+
+    def get_or_compile(self, site: str, tokens: tuple, compiler) -> tuple:
+        key = (site, tokens)
+        struct = self._structs.get(key)
+        if struct is None:
+            struct = compiler(site, tokens)
+            self._structs[key] = struct
+            self.compiled += 1
+        return struct

@@ -107,6 +107,10 @@ class LazyRingHierarchy(CacheHierarchy):
         self._ilog_first: list[int] = []
         self._ilog_n: list[int] = []
         self._ilog_G: list[int] = []
+        # Runs: maximal chains of line-contiguous inner entries.  Each value
+        # is the ilog index where a run starts; gathers walk runs (stepping
+        # candidate lines by ``mod``) instead of individual entries.
+        self._irun_j0: list[int] = []
         # Prefix sums over the log (entry j covered by [j], [j+1]): inner
         # ring lines and inner entry counts, for the O(log n) survival bound
         # in :meth:`_l2_survives`.
@@ -183,6 +187,7 @@ class LazyRingHierarchy(CacheHierarchy):
         self._lazy = False
         self._log_first = self._log_n = self._log_G = self._log_inner = []  # type: ignore[assignment]
         self._ilog_first = self._ilog_n = self._ilog_G = []  # type: ignore[assignment]
+        self._irun_j0 = []
         self._cin_lines = [0]
         self._cin_cnt = [0]
         self._refresh_fast_path()
@@ -198,32 +203,89 @@ class LazyRingHierarchy(CacheHierarchy):
     def _gather(self, sigma: int, mod: int, horizon: int, upto: int, assoc: int):
         """Pending ring fills for set ``sigma`` with stamps in
         ``(horizon, upto]``: ``(pending, wiped)`` where ``pending`` maps
-        line -> newest stamp.  Stops early once ``assoc`` distinct lines are
+        line -> newest stamp, in ascending stamp order (so merges replay it
+        directly, no sort).  Stops early once ``assoc`` distinct lines are
         found newest-first (``wiped``): older pending can no longer matter.
+
+        Walks *runs* (``_irun_j0``: maximal line-contiguous entry chains)
+        newest-first, stepping candidate lines by ``mod`` instead of
+        visiting every log entry — for large ``mod`` (the L2 walk) most
+        entries hold no line for ``sigma`` and are skipped wholesale.
         """
-        pending: dict[int, int] = {}
-        log_first, log_n, log_G = self._ilog_first, self._ilog_n, self._ilog_G
-        for j in range(len(log_first) - 1, -1, -1):
-            g0 = log_G[j]
-            n = log_n[j]
-            if g0 + n <= horizon:
-                break  # this entry and everything older is consumed
-            if g0 >= upto:
+        ilf, iln, ilG = self._ilog_first, self._ilog_n, self._ilog_G
+        runs = self._irun_j0
+        out: list[tuple[int, int]] = []  # (line, stamp), stamps descending
+        out_append = out.append
+        seen: set[int] | None = None  # built lazily for cross-run dedup
+        j1 = len(ilf)
+        for r in range(len(runs) - 1, -1, -1):
+            j0 = runs[r]
+            jlast = j1 - 1
+            if ilG[jlast] + iln[jlast] <= horizon:
+                break  # this run and everything older is consumed
+            if ilG[j0] >= upto:
+                j1 = j0
                 continue
-            first = log_first[j]
-            lo = first if horizon <= g0 else first + (horizon - g0)
-            hi = first + (n if upto - g0 >= n else upto - g0)  # exclusive
-            # Last line >= lo matching sigma (mod), walking descending.
-            start = lo + ((sigma - lo) % mod)
-            if start >= hi:
+            # Clip the stamp window (horizon, upto] to a line interval
+            # [lo, hi]: within a run stamps rise strictly with the line
+            # (entries are line-contiguous; gaps are stamp-only).
+            if upto > ilG[jlast] + iln[jlast]:
+                j = jlast
+                hi = ilf[jlast] + iln[jlast] - 1
+            else:
+                j = bisect_right(ilG, upto, j0, j1) - 1
+                d = upto - ilG[j]
+                n_j = iln[j]
+                hi = ilf[j] + (d if d < n_j else n_j) - 1
+            if horizon <= ilG[j0]:
+                lo = ilf[j0]
+            else:
+                jlo = bisect_right(ilG, horizon, j0, j1) - 1
+                d = horizon - ilG[jlo]
+                n_j = iln[jlo]
+                lo = ilf[jlo] + (d if d < n_j else n_j)
+            j1 = j0
+            # Newest line >= lo matching sigma (mod), walking descending;
+            # stamp == g0 + (line - first) + 1 off the covering entry.
+            last = hi - ((hi - sigma) % mod)
+            if last < lo:
                 continue
-            last = start + ((hi - 1 - start) // mod) * mod
-            for line in range(last, start - 1, -mod):
-                if line not in pending:
-                    pending[line] = g0 + (line - first) + 1
-                    if len(pending) >= assoc:
-                        return pending, True
-        return pending, False
+            if out and seen is None:
+                seen = {ln for ln, _ in out}
+            need = assoc - len(out)
+            fj = ilf[j]
+            base = ilG[j] - fj + 1  # stamp of line == base + line, entry j
+            if seen is None:
+                # Common case: the whole request resolves in the newest run
+                # (lines within a run are distinct — no membership tests).
+                for line in range(last, lo - 1, -mod):
+                    if fj > line:
+                        while fj > line:
+                            j -= 1
+                            fj = ilf[j]
+                        base = ilG[j] - fj + 1
+                    out_append((line, base + line))
+                    need -= 1
+                    if not need:
+                        out.reverse()
+                        return dict(out), True
+            else:
+                for line in range(last, lo - 1, -mod):
+                    if fj > line:
+                        while fj > line:
+                            j -= 1
+                            fj = ilf[j]
+                        base = ilG[j] - fj + 1
+                    if line in seen:
+                        continue
+                    seen.add(line)
+                    out_append((line, base + line))
+                    need -= 1
+                    if not need:
+                        out.reverse()
+                        return dict(out), True
+        out.reverse()
+        return dict(out), False
 
     def _ring_stamp(self, line: int) -> int:
         """Last-touch stamp of a resident ring line (newest log entry
@@ -305,15 +367,25 @@ class LazyRingHierarchy(CacheHierarchy):
             # Every old entry not refreshed by the surviving pending fills
             # was evicted at some stamp <= T with its L1 copy unrefreshed
             # since (fills touch both levels together), so the guard with
-            # stamp T is exact.
-            for v in ways:
-                if v not in pending:
-                    self._apply_removal_l1(v, T)
-            items = sorted(pending.items(), key=lambda kv: kv[1])
+            # stamp T is exact.  _apply_removal_l1's common (no-ctx) path is
+            # inlined: this loop dominates the merge's call count.
+            ctx = self._m1_ctx
+            n1 = self._n1
+            sets1 = self._sets1
+            if ctx is None:
+                for v in ways:
+                    if v not in pending:
+                        ways1 = sets1[v % n1]
+                        if v in ways1 and ways1[v] < T:
+                            del ways1[v]
+            else:
+                for v in ways:
+                    if v not in pending:
+                        self._apply_removal_l1(v, T)
             ways.clear()
-            ways.update(items)
+            ways.update(pending)  # _gather yields ascending stamps
             return
-        for line, s in sorted(pending.items(), key=lambda kv: kv[1]):
+        for line, s in pending.items():  # ascending stamps from _gather
             if line in ways:
                 del ways[line]
             elif len(ways) >= a2:
@@ -337,9 +409,8 @@ class LazyRingHierarchy(CacheHierarchy):
         if not pending:
             return
         if wiped:
-            items = sorted(pending.items(), key=lambda kv: kv[1])
             ways.clear()
-            ways.update(items)
+            ways.update(pending)  # _gather yields ascending stamps
             return
         if ways and len(ways) + len(pending) > a1:
             # An eviction may occur, so every old allocator entry must have
@@ -363,7 +434,7 @@ class LazyRingHierarchy(CacheHierarchy):
                 self._m1_ctx = None
             if not pending:
                 return
-        for line, s in sorted(pending.items(), key=lambda kv: kv[1]):
+        for line, s in pending.items():  # ascending stamps from _gather
             if line in ways:
                 del ways[line]
             elif len(ways) >= a1:
@@ -383,9 +454,27 @@ class LazyRingHierarchy(CacheHierarchy):
         cl = self._cin_lines
         cc = self._cin_cnt
         if inner:
-            self._ilog_first.append(first_line)
-            self._ilog_n.append(n)
-            self._ilog_G.append(g0)
+            # Coalesce with the previous inner entry when both lines and
+            # stamps are contiguous: the merged entry keeps the closed form
+            # stamp == g0 + (line - first) + 1 exactly, and ``_gather`` is
+            # the inner log's only consumer.  Line-contiguous entries with a
+            # stamp gap (demand accesses consumed stamps in between) stay
+            # separate entries but extend the current *run*; a line gap or
+            # ring wrap starts a new run.
+            ilf = self._ilog_first
+            iln = self._ilog_n
+            if iln and ilf[-1] + iln[-1] == first_line:
+                if self._ilog_G[-1] + iln[-1] == g0:
+                    iln[-1] += n
+                else:
+                    ilf.append(first_line)
+                    iln.append(n)
+                    self._ilog_G.append(g0)
+            else:
+                self._irun_j0.append(len(ilf))
+                ilf.append(first_line)
+                iln.append(n)
+                self._ilog_G.append(g0)
             cl.append(cl[-1] + n)
             cc.append(cc[-1] + 1)
         else:

@@ -9,7 +9,6 @@ walk penalty to the load that caused them.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 
@@ -26,8 +25,13 @@ class TLB:
 
     def __init__(self, config: TLBConfig | None = None) -> None:
         self.config = config or TLBConfig()
-        self._entries: OrderedDict[int, None] = OrderedDict()
+        # Plain insertion-ordered dict, LRU first: refresh is delete +
+        # reinsert, the victim is ``next(iter(...))`` — same trick as the
+        # cache sets, and measurably cheaper than an OrderedDict here.
+        self._entries: dict[int, None] = {}
         self._page_size = self.config.page_size
+        size = self.config.page_size
+        self._page_shift = size.bit_length() - 1 if size & (size - 1) == 0 else None
         self._capacity = self.config.entries
         self._penalty = self.config.miss_penalty
         self.hits = 0
@@ -38,15 +42,17 @@ class TLB:
 
     def access(self, addr: int) -> int:
         """Translate ``addr``; returns the added penalty (0 on a TLB hit)."""
-        page = addr // self._page_size
+        shift = self._page_shift
+        page = addr >> shift if shift is not None else addr // self._page_size
         entries = self._entries
         if page in entries:
-            entries.move_to_end(page)
+            del entries[page]
+            entries[page] = None
             self.hits += 1
             return 0
         self.misses += 1
         if len(entries) >= self._capacity:
-            entries.popitem(last=False)
+            del entries[next(iter(entries))]
         entries[page] = None
         return self._penalty
 

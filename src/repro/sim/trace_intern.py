@@ -37,11 +37,15 @@ Two sharp edges, both deliberate:
   of whichever call first materialized the variant.  Nothing in the timing
   model reads them; the differential suite would catch a regression that
   started to.
-* **Slow paths are never interned.**  Central-cache refills and scavenges
-  contain data-dependent loops whose token streams are effectively unique,
-  which would bloat the table for zero hit rate; callers fall back to plain
-  :meth:`~repro.sim.uop.TraceBuilder.build` for them (see
-  ``repro.alloc.allocator._INTERNABLE_PATHS``).
+* **Loops intern through count tokens.**  Central-cache refills and
+  scavenges contain data-dependent loops; every loop count and mid-flight
+  shape decision is recorded as a structural token (``("carve", n)``,
+  ``("pm_probes", n)``, ...), so a refill's whole variable-length shape is
+  one template key.  Workload refill shapes repeat heavily (same size
+  class → same batch/carve counts), giving the slow-path sites real hit
+  rates; only the rare LARGE/FREE_LARGE span traffic still falls back to
+  plain :meth:`~repro.sim.uop.TraceBuilder.build` (see
+  ``repro.alloc.allocator._INTERN_SITES``).
 
 ``REPRO_TRACE_INTERN=0`` disables interning process-wide (for differential
 runs); ``REPRO_INTERN_VALIDATE=1`` rebuilds every hit from scratch and

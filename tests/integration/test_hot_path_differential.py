@@ -21,6 +21,7 @@ per-line reference loop, and the lazy ring hierarchy against both.
 """
 
 import os
+import random
 import subprocess
 import sys
 from contextlib import contextmanager
@@ -34,6 +35,7 @@ from repro.harness.experiments import make_baseline, make_mallacc
 from repro.harness.runner import run_multithreaded, run_workload
 from repro.harness.sweeps import sweep_cache_sizes
 from repro.workloads import MACRO_WORKLOADS, MICROBENCHMARKS, class_thrash
+from repro.workloads.base import Op, OpKind, Workload
 from repro.workloads.threads import balanced_churn
 
 #: (engine env value or None for the columnar default,
@@ -202,6 +204,231 @@ class TestMultithreaded:
                 )
             outs.append(_mt_observable(result))
         assert all(o == outs[0] for o in outs[1:])
+
+
+def _refill_gen(seed, num_ops):
+    """A refill-torture stream: small-object churn with free bursts
+    (overflow releases, transfer-cache parks), large-span traffic
+    (page-heap splits, coalesces, release-to-OS), and one slow-start-aware
+    "scavenge bomb" — big same-class bursts grow ``max_length`` past the
+    holding count, so the frees accumulate > 2 MB in the thread cache
+    without overflowing any single list, tripping the scavenge; the
+    re-alloc burst afterwards drains the cache and unparks what the
+    scavenge just parked in the transfer cache."""
+    rng = random.Random(seed)
+    slot = 0
+    emitted = 0
+    live = []
+    big = []
+    bombed = False
+    while emitted < num_ops:
+        r = rng.random()
+        if not bombed and emitted > num_ops // 4:
+            bombed = True
+            burst = []
+            for size, count in ((8192, 80), (16384, 60), (32768, 40)):
+                for _ in range(count):
+                    yield Op(OpKind.MALLOC, size=size, slot=slot, gap_cycles=1)
+                    burst.append((slot, size))
+                    slot += 1
+                    emitted += 1
+            for s, size in burst:
+                yield Op(OpKind.FREE_SIZED, size=size, slot=s, gap_cycles=1)
+                emitted += 1
+            for size, count in ((8192, 120), (16384, 90), (32768, 60)):
+                for _ in range(count):
+                    yield Op(OpKind.MALLOC, size=size, slot=slot, gap_cycles=1)
+                    live.append((slot, size))
+                    slot += 1
+                    emitted += 1
+            continue
+        if r < 0.10 and live:
+            for _ in range(min(len(live), rng.randint(20, 60))):
+                s, size = live.pop(rng.randrange(len(live)))
+                sized = rng.random() < 0.5
+                yield Op(
+                    OpKind.FREE_SIZED if sized else OpKind.FREE,
+                    size=size if sized else 0, slot=s, gap_cycles=1,
+                )
+                emitted += 1
+        elif r < 0.14:
+            yield Op(
+                OpKind.MALLOC, size=rng.choice([266240, 300000, 600000]),
+                slot=slot, gap_cycles=1,
+            )
+            big.append(slot)
+            slot += 1
+            emitted += 1
+            if len(big) > 2:
+                yield Op(OpKind.FREE, slot=big.pop(0), gap_cycles=1)
+                emitted += 1
+        else:
+            size = rng.choice([16, 32, 64, 64, 96, 128, 256, 1024])
+            yield Op(OpKind.MALLOC, size=size, slot=slot, gap_cycles=1)
+            live.append((slot, size))
+            slot += 1
+            emitted += 1
+
+
+REFILL_TORTURE = Workload(
+    name="refill_torture",
+    generator=_refill_gen,
+    default_ops=1400,
+    description="central fetches, transfer park/unpark, scavenges, "
+    "span split/coalesce/release: every slow-path refill shape",
+)
+
+
+def _refill_state(alloc):
+    """Every stat the refill machinery mutates: central lists (including
+    lock contention and the transfer cache), page heap, thread cache."""
+    return {
+        "central": [
+            (
+                c.stats.remove_calls, c.stats.insert_calls, c.stats.populates,
+                c.stats.objects_moved_out, c.stats.objects_moved_in,
+                c.stats.spans_returned, c.stats.contention_waits,
+                c.stats.contention_cycles,
+                c.transfer.stats.batch_inserts, c.transfer.stats.batch_removes,
+                c.transfer.stats.insert_overflows, c.transfer.stats.remove_misses,
+            )
+            for c in alloc.central_lists
+        ],
+        "heap": (
+            alloc.page_heap.stats.spans_allocated,
+            alloc.page_heap.stats.spans_freed,
+            alloc.page_heap.stats.spans_split,
+            alloc.page_heap.stats.spans_coalesced,
+            alloc.page_heap.stats.system_allocations,
+            alloc.page_heap.stats.spans_released,
+            alloc.page_heap.stats.bytes_released,
+        ),
+        "tc": (
+            alloc.thread_cache.stats.fetches,
+            alloc.thread_cache.stats.releases,
+            alloc.thread_cache.stats.scavenges,
+            alloc.thread_cache.stats.objects_fetched,
+            alloc.thread_cache.stats.objects_released,
+            alloc.thread_cache.size_bytes,
+        ),
+    }
+
+
+class _CountingTwin:
+    """Pure-delegation wrapper proving the fused slow-path twin actually
+    served calls (a fallback returns None and doesn't count)."""
+
+    def __init__(self, twin):
+        self._twin = twin
+        self.served = 0
+
+    def malloc(self, size):
+        out = self._twin.malloc(size)
+        if out is not None:
+            self.served += 1
+        return out
+
+    def free(self, ptr, sized_hint):
+        out = self._twin.free(ptr, sized_hint)
+        if out is not None:
+            self.served += 1
+        return out
+
+
+class TestRefillTwins:
+    """The fused slow-path refill twins (central-cache remove/insert with
+    the transfer cache and lock model, page-heap span alloc/free with the
+    radix pagemap, span carving) must be byte-invisible across the full
+    grid — including every refill-side stat they shadow."""
+
+    @pytest.mark.parametrize("allocator", [make_baseline, make_mallacc])
+    def test_refill_torture_grid(self, allocator):
+        outs = []
+        twins = []
+        for engine, impl, intern in GRID:
+            with _engine_env(engine, impl):
+                alloc = allocator(intern_traces=intern)
+                if alloc._slowpath is not None:
+                    alloc._slowpath = _CountingTwin(alloc._slowpath)
+                twins.append(alloc._slowpath)
+                result = run_workload(
+                    alloc,
+                    REFILL_TORTURE.ops(seed=11, num_ops=1400),
+                    name=REFILL_TORTURE.name,
+                )
+            outs.append((engine, impl, intern, result, alloc))
+        base = _observable(outs[0][3])
+        base_state = _hierarchy_state(outs[0][4].machine)
+        base_refill = _refill_state(outs[0][4])
+        for engine, impl, intern, result, alloc in outs[1:]:
+            tag = f"engine={engine or 'columnar'} impl={impl or 'o1'} intern={intern}"
+            assert _observable(result) == base, tag
+            assert _hierarchy_state(alloc.machine) == base_state, tag
+            assert _refill_state(alloc) == base_refill, tag
+        # The stream must genuinely hit every refill shape ...
+        paths = set(base["paths"])
+        assert {"central", "page_alloc", "free_slow", "large", "free_large"} <= paths
+        tc = base_refill["tc"]
+        assert tc[2] > 0, "no scavenge"
+        central = [sum(col) for col in zip(*base_refill["central"])]
+        assert central[8] > 0, "no transfer-cache park"
+        assert central[9] > 0, "no transfer-cache unpark"
+        assert central[5] > 0, "no span returned to the page heap"
+        heap = base_refill["heap"]
+        assert heap[2] > 0 and heap[3] > 0 and heap[5] > 0, "heap under-exercised"
+        # ... and the columnar cells must have served it from the twin.
+        assert twins[0] is not None and twins[0].served > 0
+        for (engine, _, _), twin in zip(GRID, twins):
+            if engine == "reference":
+                assert twin is None
+
+    def test_mt_refill_contention(self):
+        """The multithreaded leg: contended central-lock waits and
+        transfer-cache round-trips priced inside the twins must match the
+        reference machinery stat-for-stat."""
+        outs = []
+        for engine in ("reference", None):
+            with _engine_env(engine, None):
+                rng = random.Random(3)
+                mt = MultiThreadAllocator(num_threads=4, accelerated=True)
+                live = []
+                for _ in range(2000):
+                    tid = rng.randrange(4)
+                    if rng.random() < 0.6 or not live:
+                        size = rng.choice([24, 64, 128, 512, 2048, 16384])
+                        ptr, _rec = mt.malloc(tid, size)
+                        live.append((ptr, size))
+                    else:
+                        ptr, size = live.pop(rng.randrange(len(live)))
+                        if rng.random() < 0.5:
+                            mt.sized_free(tid, ptr, size)
+                        else:
+                            mt.free(tid, ptr)
+                cs = mt.shared.central_lists
+                outs.append({
+                    "clock": mt.machine.clock,
+                    "per_thread": [(s.mallocs, s.frees, s.cycles) for s in mt.stats],
+                    "central": [
+                        (
+                            c.stats.remove_calls, c.stats.insert_calls,
+                            c.stats.populates, c.stats.contention_waits,
+                            c.stats.contention_cycles,
+                            c.transfer.stats.batch_inserts,
+                            c.transfer.stats.batch_removes,
+                        )
+                        for c in cs
+                    ],
+                    "heap": (
+                        mt.shared.page_heap.stats.spans_allocated,
+                        mt.shared.page_heap.stats.spans_freed,
+                    ),
+                })
+        assert outs[0] == outs[1]
+        waits = sum(c[3] for c in outs[0]["central"])
+        parks = sum(c[5] for c in outs[0]["central"])
+        unparks = sum(c[6] for c in outs[0]["central"])
+        assert waits > 0, "no contended lock waits"
+        assert parks > 0 and unparks > 0, "no transfer-cache traffic"
 
 
 class TestSampled:
